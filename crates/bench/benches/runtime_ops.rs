@@ -1,0 +1,79 @@
+//! Simulated-cycle costs of the runtime's primitive operations,
+//! reported through Criterion by mapping cycles to nanoseconds at the
+//! modeled 1 GHz-class clock (1 cycle == 1 ns here): the numbers shown
+//! are SIMULATED time, not host time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_runtime::{Mosaic, Placement, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use std::time::Duration;
+
+/// Run a closure-per-run simulation and report simulated cycles.
+fn sim_cycles(cfg: RuntimeConfig, tasks: u32) -> u64 {
+    let sys = Mosaic::new(MachineConfig::small(4, 2), cfg);
+    let report = sys.run(move |ctx| {
+        for _ in 0..tasks {
+            ctx.spawn(|ctx| ctx.compute(8, 8));
+        }
+        ctx.wait();
+    });
+    report.cycles
+}
+
+fn bench_spawn_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spawn_join_100_tasks_sim");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("queue_spm", RuntimeConfig::work_stealing()),
+        (
+            "queue_dram",
+            RuntimeConfig {
+                queue: Placement::Dram,
+                ..RuntimeConfig::work_stealing()
+            },
+        ),
+        ("all_dram", RuntimeConfig::work_stealing_naive()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += Duration::from_nanos(sim_cycles(cfg.clone(), 100));
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_for_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_for_1k_iters_sim");
+    g.sample_size(10);
+    for grain in [4u32, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("grain", grain), &grain, |b, &grain| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let sys =
+                        Mosaic::new(MachineConfig::small(4, 2), RuntimeConfig::work_stealing());
+                    let report = sys.run(move |ctx| {
+                        ctx.parallel_for(0, 1024, grain, 2, |ctx, _i| ctx.compute(4, 4));
+                    });
+                    total += Duration::from_nanos(report.cycles);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // The simulator is deterministic, so samples can be identical;
+    // criterion's plotters backend cannot draw zero-variance data.
+    config = Criterion::default().without_plots();
+    targets = bench_spawn_join, bench_parallel_for_dispatch
+}
+criterion_main!(benches);

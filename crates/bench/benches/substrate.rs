@@ -1,0 +1,84 @@
+//! Host-time microbenchmarks of the simulator substrate itself: how
+//! fast the models run on the host (useful when sizing experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_mem::{AddrMap, DramModel, Llc};
+use mosaic_mesh::{Mesh, MeshConfig};
+use mosaic_sim::{Engine, Machine, MachineConfig};
+use std::hint::black_box;
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh");
+    for ruche in [0u16, 3] {
+        g.bench_with_input(BenchmarkId::new("traverse", ruche), &ruche, |b, &r| {
+            let mut mesh = Mesh::new(MeshConfig::new(16, 8, r));
+            let src = mesh.config().core_node(0);
+            let dst = mesh.config().core_node(127);
+            let mut t = 0u64;
+            b.iter(|| {
+                t = mesh.traverse(black_box(src), black_box(dst), t, 1);
+                t
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem");
+    g.bench_function("llc_access_hit", |b| {
+        let mut llc = Llc::default();
+        let mut dram = DramModel::default();
+        llc.access(0, 0, false, &mut dram); // warm the line
+        let mut t = 100u64;
+        b.iter(|| {
+            let a = llc.access(black_box(0), t, false, &mut dram);
+            t = a.done;
+            a.hit
+        });
+    });
+    g.bench_function("dram_access", |b| {
+        let mut dram = DramModel::default();
+        let mut t = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 4096) % (1 << 20);
+            t = dram.access(black_box(addr), t, false);
+            t
+        });
+    });
+    g.bench_function("addr_decode", |b| {
+        let map = AddrMap::new(128, 4096);
+        let a = map.spm_addr(77, 128);
+        b.iter(|| map.decode(black_box(a)));
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // End-to-end engine throughput: a 8-core machine doing 1000
+    // loads/core (~8k simulated events per run).
+    c.bench_function("engine_8core_8k_events", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::small(4, 2));
+            let data = machine.dram_alloc_words(1024);
+            let report = Engine::run(machine, move |core| {
+                Box::new(move |api| {
+                    for i in 0..1000u64 {
+                        api.load(data.offset_words((i * 7 + core as u64) % 1024));
+                    }
+                })
+            });
+            report.cycles
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // The simulator is deterministic, so samples can be identical;
+    // criterion's plotters backend cannot draw zero-variance data.
+    config = Criterion::default().without_plots();
+    targets = bench_mesh, bench_mem, bench_engine
+}
+criterion_main!(benches);

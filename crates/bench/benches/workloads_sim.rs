@@ -1,0 +1,37 @@
+//! Simulated execution time of each Table-1 workload (Tiny inputs,
+//! 8 cores) under the best work-stealing configuration. Criterion's
+//! time axis is SIMULATED nanoseconds (1 cycle == 1 ns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::{table1_benchmarks, Scale};
+use std::time::Duration;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads_sim");
+    g.sample_size(10);
+    for bench in table1_benchmarks(Scale::Tiny) {
+        g.bench_function(bench.name(), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let out = bench.run(MachineConfig::small(4, 2), RuntimeConfig::work_stealing());
+                    assert!(out.verified);
+                    total += Duration::from_nanos(out.report.cycles);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // The simulator is deterministic, so samples can be identical;
+    // criterion's plotters backend cannot draw zero-variance data.
+    config = Criterion::default().without_plots();
+    targets = bench_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Related-work comparison: work-stealing (the paper) vs work-dealing
+//! (Zakkak & Pratikakis) vs the static baseline, on representative
+//! workloads from each quadrant. The paper argues stealing is the
+//! right policy for SPM manycores; this quantifies the gap under an
+//! identical substrate and placement configuration.
+
+use mosaic_bench::{Options, Table};
+use mosaic_runtime::{Placement, RuntimeConfig};
+use mosaic_workloads::{matmul, pagerank, uts, Benchmark, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale::Small, 8, 4);
+    let mut benches: Vec<Box<dyn Benchmark>> = Vec::new();
+    benches.extend(matmul::instances(opts.scale).into_iter().take(1));
+    benches.extend(pagerank::instances(opts.scale).into_iter().skip(1).take(1));
+    benches.extend(uts::instances(opts.scale));
+
+    let mut table = Table::new(&["workload", "scheduler", "cycles", "moved", "vs static"]);
+    for b in &benches {
+        let static_cycles = if b.has_static_baseline() {
+            let out = b.run(opts.machine(), RuntimeConfig::static_loops(Placement::Spm));
+            out.assert_verified();
+            Some(out.report.cycles)
+        } else {
+            None
+        };
+        if let Some(sc) = static_cycles {
+            table.row(vec![
+                b.name(),
+                "static".into(),
+                format!("{sc}"),
+                "-".into(),
+                "1.00".into(),
+            ]);
+        }
+        for (name, cfg) in [
+            ("stealing", RuntimeConfig::work_stealing()),
+            ("dealing", RuntimeConfig::work_dealing()),
+        ] {
+            let out = b.run(opts.machine(), cfg);
+            out.assert_verified();
+            let t = out.report.totals();
+            let moved = t.steals + t.deals;
+            let vs = static_cycles
+                .map(|sc| format!("{:.2}", sc as f64 / out.report.cycles as f64))
+                .unwrap_or_else(|| "-".into());
+            table.row(vec![
+                b.name(),
+                name.into(),
+                format!("{}", out.report.cycles),
+                format!("{moved}"),
+                vs,
+            ]);
+        }
+    }
+    println!(
+        "Scheduler-policy comparison on {} cores (moved = tasks stolen or dealt)",
+        opts.cores()
+    );
+    println!("{table}");
+}

@@ -1,0 +1,50 @@
+//! Ablation: ruche (express) links. The paper's OCN is a
+//! mesh-with-ruching; this measures what the express links buy on the
+//! Fig. 5-style hot-spot pattern and on an all-to-all pattern.
+
+use mosaic_bench::{Options, Table};
+use mosaic_sim::{Engine, Machine};
+use mosaic_workloads::Scale;
+
+fn main() {
+    let opts = Options::parse(Scale::Small, 16, 8);
+    let mut table = Table::new(&["ruche", "hotspot cycles", "all-to-all cycles"]);
+    for ruche in [0u16, 2, 3, 4] {
+        let mut cycles = Vec::new();
+        for pattern in ["hotspot", "a2a"] {
+            let mut mcfg = opts.machine();
+            mcfg.ruche_x = ruche;
+            let machine = Machine::new(mcfg);
+            let map = machine.addr_map().clone();
+            let cores = machine.core_count();
+            let pattern_is_hotspot = pattern == "hotspot";
+            let report = Engine::run(machine, move |core| {
+                let map = map.clone();
+                Box::new(move |api| {
+                    if core == 0 && pattern_is_hotspot {
+                        api.charge(1, 10_000);
+                        return;
+                    }
+                    for i in 0..100u64 {
+                        let target = if pattern_is_hotspot {
+                            0
+                        } else {
+                            (core + i as usize * 7 + 1) % cores
+                        };
+                        let addr = map.spm_addr(target as u32, ((i * 4) % 1024) as u32 & !3);
+                        api.load(addr);
+                        api.charge(2, 2);
+                    }
+                })
+            });
+            cycles.push(report.cycles);
+        }
+        table.row(vec![
+            format!("{ruche}"),
+            format!("{}", cycles[0]),
+            format!("{}", cycles[1]),
+        ]);
+    }
+    println!("Ruche-factor ablation, {} cores", opts.cores());
+    println!("{table}");
+}

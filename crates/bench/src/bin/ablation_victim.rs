@@ -1,0 +1,41 @@
+//! Ablation: steal policies. Victim selection (random — the paper's
+//! choice — vs round-robin vs mesh-nearest) crossed with steal amount
+//! (one task vs half the victim's queue).
+
+use mosaic_bench::{Options, Table};
+use mosaic_runtime::{RuntimeConfig, StealAmount, VictimPolicy};
+use mosaic_workloads::{uts, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale::Small, 8, 4);
+    let benches = uts::instances(opts.scale);
+    let mut table = Table::new(&["workload", "victim", "amount", "cycles", "steals", "failed"]);
+    for b in &benches {
+        for (vname, policy) in [
+            ("random", VictimPolicy::Random),
+            ("round-robin", VictimPolicy::RoundRobin),
+            ("nearest", VictimPolicy::Nearest),
+        ] {
+            for (aname, amount) in [("one", StealAmount::One), ("half", StealAmount::Half)] {
+                let cfg = RuntimeConfig {
+                    victim: policy,
+                    steal_amount: amount,
+                    ..RuntimeConfig::work_stealing()
+                };
+                let out = b.run(opts.machine(), cfg);
+                out.assert_verified();
+                let t = out.report.totals();
+                table.row(vec![
+                    b.name(),
+                    vname.into(),
+                    aname.into(),
+                    format!("{}", out.report.cycles),
+                    format!("{}", t.steals),
+                    format!("{}", t.failed_steals),
+                ]);
+            }
+        }
+    }
+    println!("Steal-policy ablation on {} cores", opts.cores());
+    println!("{table}");
+}

@@ -1,0 +1,66 @@
+//! Regenerate **Figure 6**: execution time of the six parallel kernels
+//! in one PageRank iteration with and without read-only data
+//! duplication.
+//!
+//! The magnitude of the benefit grows with the ratio of captured-state
+//! reads to other memory traffic, i.e. with input size and core count;
+//! at the default reduced scale the win is smaller than the paper's
+//! 1.57x but the same kernels improve. Run with `--paper --scale full`
+//! for the strongest effect this model produces.
+
+use mosaic_bench::{Options, Table};
+use mosaic_runtime::RuntimeConfig;
+use mosaic_workloads::pagerank::{GraphKind, PageRank};
+use mosaic_workloads::{Benchmark, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale::Small, 16, 8);
+    let n = match opts.scale {
+        Scale::Tiny => 1024,
+        Scale::Small => 8192,
+        Scale::Full => 16384,
+    };
+    let pr = PageRank {
+        n,
+        kind: GraphKind::PowerLaw,
+        iters: 1,
+        seed: 0x96,
+    };
+    let kernels = ["K1", "K2", "K3", "K4", "K5", "K6"];
+    let mut table = Table::new(&["config", "K1", "K2", "K3", "K4", "K5", "K6", "total"]);
+    let mut totals = Vec::new();
+    for rd in [false, true] {
+        let cfg = RuntimeConfig {
+            rd_duplication: rd,
+            ..RuntimeConfig::work_stealing()
+        };
+        let out = pr.run(opts.machine(), cfg);
+        out.assert_verified();
+        let mut cells = vec![if rd {
+            "w/ RD".to_string()
+        } else {
+            "w/o RD".to_string()
+        }];
+        for (i, _) in kernels.iter().enumerate() {
+            let from = format!("iter0:K{}", i + 1);
+            let to = if i == 5 {
+                "iter0:end".to_string()
+            } else {
+                format!("iter0:K{}", i + 2)
+            };
+            cells.push(format!("{}", out.report.span(&from, &to)));
+        }
+        cells.push(format!("{}", out.report.cycles));
+        totals.push(out.report.cycles);
+        table.row(cells);
+    }
+    println!(
+        "Fig. 6: PageRank (email-like, n={n}) kernel times, {} cores",
+        opts.cores()
+    );
+    println!("{table}");
+    println!(
+        "read-only duplication speedup: {:.2}x (paper: 1.57x at full scale)",
+        totals[0] as f64 / totals[1] as f64
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerate **Figure 7**: the Fib micro-benchmark across the four
+//! work-stealing data-placement variants, for both the hardware
+//! overflow co-design ("Fib") and the estimated 2-instruction software
+//! scheme ("Fib-S"). Speedups are normalized to the naive
+//! both-in-DRAM configuration, as in the paper.
+
+use mosaic_bench::{Options, Table};
+use mosaic_runtime::RuntimeConfig;
+use mosaic_workloads::fib::Fib;
+use mosaic_workloads::{Benchmark, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale::Small, 8, 4);
+    let n = match opts.scale {
+        Scale::Tiny => 10,
+        Scale::Small => 13,
+        Scale::Full => 16,
+    };
+    let fib = Fib { n };
+    let ws_configs: Vec<(&str, RuntimeConfig)> = RuntimeConfig::table1_sweep()
+        .into_iter()
+        .filter(|(l, _)| l.starts_with("ws"))
+        .collect();
+
+    let mut table = Table::new(&["variant", "config", "cycles", "speedup", "overflows"]);
+    for (variant, penalty) in [("Fib", 0u64), ("Fib-S", 2)] {
+        let mut machine = opts.machine();
+        machine.sw_overflow_penalty = penalty;
+        let mut baseline = None;
+        for (label, cfg) in &ws_configs {
+            let out = fib.run(machine.clone(), cfg.clone());
+            out.assert_verified();
+            let cycles = out.report.cycles;
+            let base = *baseline.get_or_insert(cycles);
+            table.row(vec![
+                variant.into(),
+                label.to_string(),
+                format!("{cycles}"),
+                format!("{:.2}x", base as f64 / cycles as f64),
+                format!("{}", out.report.totals().stack_overflows),
+            ]);
+        }
+    }
+    println!(
+        "Fig. 7: fib({n}) on {} cores; speedup normalized to ws/dram-stack/dram-q",
+        opts.cores()
+    );
+    println!("{table}");
+}

@@ -1,0 +1,41 @@
+//! Regenerate **Figure 10**: CilkSort and MatrixTranspose (the
+//! spawn-and-sync workloads with no static baseline) across the four
+//! work-stealing variants, normalized to both-stack-and-queue-in-SPM
+//! as in the paper (note the paper's X axis starts at 0.5).
+
+use mosaic_bench::{Options, Table};
+use mosaic_runtime::RuntimeConfig;
+use mosaic_workloads::{cilksort, mattrans, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale::Small, 8, 4);
+    let ws_configs: Vec<(&str, RuntimeConfig)> = RuntimeConfig::table1_sweep()
+        .into_iter()
+        .filter(|(l, _)| l.starts_with("ws"))
+        .collect();
+    let mut benches = mattrans::instances(opts.scale);
+    benches.extend(cilksort::instances(opts.scale));
+
+    let mut header = vec!["workload"];
+    header.extend(ws_configs.iter().map(|(l, _)| *l));
+    let mut table = Table::new(&header);
+    for b in &benches {
+        let mut cycles = Vec::new();
+        for (_, cfg) in &ws_configs {
+            let out = b.run(opts.machine(), cfg.clone());
+            out.assert_verified();
+            cycles.push(out.report.cycles);
+        }
+        let best = cycles[3]; // ws/spm-stack/spm-q is last in sweep order
+        let mut cells = vec![b.name()];
+        for cy in &cycles {
+            cells.push(format!("{:.2}", best as f64 / *cy as f64));
+        }
+        table.row(cells);
+    }
+    println!(
+        "Fig. 10: speedup normalized to ws/spm-stack/spm-q, {} cores",
+        opts.cores()
+    );
+    println!("{table}");
+}

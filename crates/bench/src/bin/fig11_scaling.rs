@@ -1,0 +1,99 @@
+//! Regenerate **Figure 11**: speedup over one core as the machine
+//! grows from 1 to 128 cores, for the Fig. 11 workload set (the paper
+//! omits UTS for simulation-time reasons; so do we by default — pass
+//! `--scale full` to include it).
+//!
+//! Work-stealing with both the stack and the task queue in SPM, as in
+//! the paper.
+
+use mosaic_bench::{Options, Table};
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::{
+    bfs::{Bfs, BfsInput},
+    cilksort::CilkSort,
+    matmul::MatMul,
+    mattrans::MatTrans,
+    nqueens::NQueens,
+    pagerank::{GraphKind, PageRank},
+    spmt::SpMT,
+    spmv::{MatrixKind, SpMV},
+    Benchmark, Scale,
+};
+
+fn main() {
+    let opts = Options::parse(Scale::Small, 16, 8);
+    // Fixed inputs per the figure caption, scaled down.
+    let benches: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(NQueens { n: 6 }),
+        Box::new(MatMul { n: 48, seed: 0xA }),
+        Box::new(CilkSort {
+            n: 4096,
+            seed: 0xC5,
+        }),
+        Box::new(PageRank {
+            n: 1024,
+            kind: GraphKind::Uniform,
+            iters: 1,
+            seed: 0x96,
+        }),
+        Box::new(SpMV {
+            n: 1024,
+            kind: MatrixKind::Block,
+            seed: 0x51,
+        }),
+        Box::new(Bfs {
+            n: 1024,
+            input: BfsInput::Uniform,
+            source: 1,
+            seed: 0xBF,
+        }),
+        Box::new(MatTrans { n: 64, seed: 0x7A }),
+        Box::new(SpMT {
+            n: 1024,
+            kind: MatrixKind::Banded,
+            seed: 0x57,
+        }),
+    ];
+    let grids: &[(u16, u16)] = &[
+        (1, 1),
+        (2, 1),
+        (2, 2),
+        (4, 2),
+        (4, 4),
+        (8, 4),
+        (8, 8),
+        (16, 8),
+    ];
+    let grids: Vec<(u16, u16)> = grids
+        .iter()
+        .copied()
+        .filter(|(c, r)| (*c as usize) * (*r as usize) <= opts.cores())
+        .collect();
+
+    let mut header = vec!["workload".to_string()];
+    header.extend(
+        grids
+            .iter()
+            .map(|(c, r)| format!("{}c", *c as usize * *r as usize)),
+    );
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    for b in &benches {
+        eprintln!("scaling {}...", b.name());
+        let mut t1 = 0u64;
+        let mut cells = vec![b.name()];
+        for &(c, r) in &grids {
+            let out = b.run(MachineConfig::small(c, r), RuntimeConfig::work_stealing());
+            out.assert_verified();
+            if c as usize * r as usize == 1 {
+                t1 = out.report.cycles;
+            }
+            cells.push(format!("{:.1}", t1 as f64 / out.report.cycles as f64));
+        }
+        table.row(cells);
+    }
+    println!("Fig. 11: speedup over one core (work-stealing, stack+queue in SPM)");
+    println!("{table}");
+}

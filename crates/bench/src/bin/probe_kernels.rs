@@ -1,0 +1,45 @@
+//! Per-kernel static-vs-WS timing for PageRank.
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::pagerank::{GraphKind, PageRank};
+use mosaic_workloads::Benchmark;
+
+fn main() {
+    let mcfg = MachineConfig::small(8, 4);
+    let pr = PageRank {
+        n: 4096,
+        kind: GraphKind::PowerLaw,
+        iters: 1,
+        seed: 0x96,
+    };
+    for (label, cfg) in [
+        (
+            "static/spm-stack",
+            RuntimeConfig::static_loops(mosaic_runtime::Placement::Spm),
+        ),
+        ("ws/spm/spm", RuntimeConfig::work_stealing()),
+    ] {
+        let out = pr.run(mcfg.clone(), cfg);
+        assert!(out.verified);
+        let _marks = &out.report.marks;
+        print!("{label:18} total={:>8}  ", out.report.cycles);
+        let labels = [
+            "iter0:K1",
+            "iter0:K2",
+            "iter0:K3",
+            "iter0:K4",
+            "iter0:K5",
+            "iter0:K6",
+            "iter0:end",
+        ];
+        for w in labels.windows(2) {
+            let s = out.report.span(w[0], w[1]);
+            print!("{}={:>7} ", &w[0][6..], s);
+        }
+        let t = out.report.totals();
+        println!(
+            " steals={} fails={} spawns={}",
+            t.steals, t.failed_steals, t.spawns
+        );
+    }
+}

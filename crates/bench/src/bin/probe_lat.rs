@@ -1,0 +1,33 @@
+//! Raw load-latency probe.
+use mosaic_sim::{Engine, Machine, MachineConfig};
+
+fn main() {
+    for active in [1usize, 8, 32] {
+        let mut machine = Machine::new(MachineConfig::small(8, 4));
+        let data = machine.dram_alloc_words(4096);
+        let out = machine.dram_alloc_words(128);
+        let report = Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                if core < active {
+                    let t0 = api.now();
+                    let mut x = core as u64;
+                    for i in 0..1000u64 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                        let idx = x % 4096;
+                        api.load(data.offset_words(idx));
+                    }
+                    let dt = api.now() - t0;
+                    api.store(out.offset_words(core as u64), (dt / 1000) as u32);
+                }
+            })
+        });
+        let lats: Vec<u32> = (0..active)
+            .map(|c| report.machine.peek(out.offset_words(c as u64)))
+            .collect();
+        let (h, m, _) = report.machine.llc_stats();
+        println!(
+            "active={active:3} avg-load-latency per core: {:?}... llc hits={h} misses={m}",
+            &lats[..active.min(8)]
+        );
+    }
+}

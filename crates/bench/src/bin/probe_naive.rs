@@ -1,0 +1,38 @@
+//! Diagnose the naive (all-DRAM) configuration's slowdown composition.
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::pagerank::{GraphKind, PageRank};
+use mosaic_workloads::Benchmark;
+
+fn main() {
+    let pr = PageRank {
+        n: 2048,
+        kind: GraphKind::PowerLaw,
+        iters: 1,
+        seed: 0x96,
+    };
+    for (label, cfg) in [
+        ("naive", RuntimeConfig::work_stealing_naive()),
+        ("spm", RuntimeConfig::work_stealing()),
+    ] {
+        let out = pr.run(MachineConfig::small(8, 4), cfg);
+        let r = &out.report;
+        let t = r.totals();
+        let (h, m, wb) = r.machine.llc_stats();
+        let (dr, dw) = r.machine.dram_traffic();
+        println!("{label:6} cycles={:>8} instr={:>8} stall={:>9} steals={} fails={} lockretry={} llc h/m/wb={h}/{m}/{wb} dram r/w={dr}/{dw}",
+            r.cycles, r.instructions(), r.counters.total_mem_stall(), t.steals, t.failed_steals, t.lock_retries);
+        let ls = r.machine.mesh().link_stats();
+        let (hot_idx, hot) = ls.hottest_link().unwrap();
+        let cfgm = r.machine.mesh().config();
+        let (from, to) = cfgm.link_table()[hot_idx];
+        println!(
+            "       mesh total flits={} hottest link {}->{} carried {} flits ({:.2}/cycle)",
+            ls.total_flits(),
+            cfgm.coord(from),
+            cfgm.coord(to),
+            hot,
+            hot as f64 / r.cycles as f64
+        );
+    }
+}

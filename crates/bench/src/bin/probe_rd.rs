@@ -1,0 +1,38 @@
+//! Read-only-duplication on/off probe (Fig. 6 mechanism).
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::pagerank::{GraphKind, PageRank};
+use mosaic_workloads::Benchmark;
+
+fn main() {
+    let mcfg = MachineConfig::small(16, 8);
+    let pr = PageRank {
+        n: 8192,
+        kind: GraphKind::PowerLaw,
+        iters: 1,
+        seed: 0x96,
+    };
+    for rd in [false, true] {
+        let cfg = RuntimeConfig {
+            rd_duplication: rd,
+            ..RuntimeConfig::work_stealing()
+        };
+        let out = pr.run(mcfg.clone(), cfg);
+        assert!(out.verified);
+        print!("PR rd={rd:5} total={:>8}  ", out.report.cycles);
+        for w in [
+            "iter0:K1",
+            "iter0:K2",
+            "iter0:K3",
+            "iter0:K4",
+            "iter0:K5",
+            "iter0:K6",
+            "iter0:end",
+        ]
+        .windows(2)
+        {
+            print!("{}={:>7} ", &w[0][6..], out.report.span(w[0], w[1]));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,52 @@
+//! RD micro-probe with diagnostics.
+use mosaic_runtime::{Mosaic, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+
+fn main() {
+    for env_words in [0u32, 4] {
+        let cfg = RuntimeConfig::work_stealing();
+        let sys = Mosaic::new(MachineConfig::small(16, 8), cfg);
+        let report = sys.run(move |ctx| {
+            ctx.parallel_for(0, 16384, 32, env_words, |ctx, _i| {
+                ctx.compute(4, 4);
+            });
+        });
+        println!(
+            "env_words={env_words} cycles={} stall/core={}",
+            report.cycles,
+            report.counters.total_mem_stall() / 128
+        );
+    }
+    for rd in [false, true] {
+        let cfg = RuntimeConfig {
+            rd_duplication: rd,
+            ..RuntimeConfig::work_stealing()
+        };
+        let sys = Mosaic::new(MachineConfig::small(16, 8), cfg);
+        let report = sys.run(move |ctx| {
+            ctx.parallel_for(0, 16384, 32, 4, |ctx, _i| {
+                ctx.compute(4, 4);
+            });
+        });
+        let stall: u64 = report.counters.total_mem_stall();
+        let instr = report.counters.total_instructions();
+        let t = report.totals();
+        println!(
+            "rd={rd:5} cycles={} instr={} stall={} stall/core={} steals={} fails={} spawns={}",
+            report.cycles,
+            instr,
+            stall,
+            stall / 128,
+            t.steals,
+            t.failed_steals,
+            t.spawns
+        );
+        // busiest core vs least busy (instructions)
+        let mut v: Vec<u64> = report.counters.iter().map(|c| c.instructions).collect();
+        v.sort_unstable();
+        println!(
+            "        instr/core min={} med={} max={}",
+            v[0], v[64], v[127]
+        );
+    }
+}

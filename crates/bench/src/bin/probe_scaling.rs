@@ -1,0 +1,36 @@
+//! WS self-relative scaling probe.
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::spmv::{MatrixKind, SpMV};
+use mosaic_workloads::Benchmark;
+
+fn main() {
+    let s = SpMV {
+        n: 1024,
+        kind: MatrixKind::PowerLaw,
+        seed: 0x51,
+    };
+    let mut t1 = 0;
+    for (cols, rows) in [(1u16, 1u16), (2, 2), (4, 2), (8, 4), (16, 8)] {
+        let cores = cols as u64 * rows as u64;
+        let out = s.run(
+            MachineConfig::small(cols, rows),
+            RuntimeConfig::work_stealing(),
+        );
+        assert!(out.verified);
+        if cores == 1 {
+            t1 = out.report.cycles;
+        }
+        let tstat = s.run(
+            MachineConfig::small(cols, rows),
+            RuntimeConfig::static_loops(mosaic_runtime::Placement::Spm),
+        );
+        println!(
+            "cores={cores:3}  ws={:>8}  speedup={:.1}  static={:>8}  ws/static={:.2}",
+            out.report.cycles,
+            t1 as f64 / out.report.cycles as f64,
+            tstat.report.cycles,
+            tstat.report.cycles as f64 / out.report.cycles as f64
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Probe input skew: in-degree distribution and static-chunk imbalance.
+use mosaic_workloads::gen::graph::{rmat, RMAT_G500, RMAT_SKEWED};
+
+fn main() {
+    for (name, probs, scale, ef) in [
+        ("g500 s9 ef8", RMAT_G500, 9u32, 8u32),
+        ("skew s9 ef8", RMAT_SKEWED, 9, 8),
+        ("skew s11 ef8", RMAT_SKEWED, 11, 8),
+        ("skew s11 ef16", RMAT_SKEWED, 11, 16),
+        ("skew s12 ef8", RMAT_SKEWED, 12, 8),
+    ] {
+        let g = rmat(scale, ef, probs, 0x96);
+        let t = g.transpose();
+        let n = g.n;
+        let nnz = t.nnz() as u32;
+        let mut indeg: Vec<u32> = (0..n).map(|v| t.degree(v)).collect();
+        // static chunk imbalance over 32 contiguous chunks
+        let p = 32u32;
+        let mut chunk_work = vec![0u64; p as usize];
+        for v in 0..n {
+            let c = (v as u64 * p as u64 / n as u64) as usize;
+            chunk_work[c] += indeg[v as usize] as u64;
+        }
+        let maxc = *chunk_work.iter().max().unwrap();
+        let avgc = chunk_work.iter().sum::<u64>() / p as u64;
+        indeg.sort_unstable_by(|a, b| b.cmp(a));
+        println!(
+            "{name:14} n={n} nnz={nnz} top-indeg={:?} chunk max/avg={:.1}",
+            &indeg[..5],
+            maxc as f64 / avgc as f64
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Utilization probe: who does the work, and when does it stall?
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::spmv::{MatrixKind, SpMV};
+use mosaic_workloads::Benchmark;
+
+fn main() {
+    let s = SpMV {
+        n: 1024,
+        kind: MatrixKind::PowerLaw,
+        seed: 0x51,
+    };
+    let out = s.run(MachineConfig::small(8, 4), RuntimeConfig::work_stealing());
+    assert!(out.verified);
+    let r = &out.report;
+    println!("total cycles {}", r.cycles);
+    let mut tasks: Vec<u64> = r.worker_stats.iter().map(|w| w.tasks_executed).collect();
+    println!("tasks/core: {:?}", tasks);
+    tasks.sort_unstable();
+    let instr: Vec<u64> = r.counters.iter().map(|c| c.instructions).collect();
+    let stall: Vec<u64> = r.counters.iter().map(|c| c.mem_stall_cycles).collect();
+    println!(
+        "instr: min={} max={} sum={}",
+        instr.iter().min().unwrap(),
+        instr.iter().max().unwrap(),
+        instr.iter().sum::<u64>()
+    );
+    println!(
+        "stall: min={} max={} sum={}",
+        stall.iter().min().unwrap(),
+        stall.iter().max().unwrap(),
+        stall.iter().sum::<u64>()
+    );
+    let t = r.totals();
+    println!(
+        "steals={} fails={} spawns={} inline={} lock_retries={}",
+        t.steals, t.failed_steals, t.spawns, t.inline_executions, t.lock_retries
+    );
+}

@@ -1,0 +1,48 @@
+//! One-command reproduction: run every table/figure harness at the
+//! given scale and write the outputs under `results/`.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin reproduce_all -- --scale small
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    std::fs::create_dir_all("results").expect("mkdir results");
+    let bins = [
+        "table1",
+        "fig05_heatmap",
+        "fig06_rd_duplication",
+        "fig07_fib_microbench",
+        "fig09_speedup",
+        "fig10_dynamic",
+        "fig11_scaling",
+        "ablation_grain",
+        "ablation_victim",
+        "ablation_ruche",
+        "ablation_dealing",
+        "trace_run",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in bins {
+        eprintln!("==> {bin}");
+        let out = Command::new(exe_dir.join(bin))
+            .args(&passthrough)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let path = format!("results/{bin}.txt");
+        std::fs::write(&path, &out.stdout).expect("write result");
+        eprintln!("    wrote {path}");
+    }
+    eprintln!("all experiments reproduced under results/");
+}

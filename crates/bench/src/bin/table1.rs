@@ -1,0 +1,63 @@
+//! Regenerate **Table 1**: dynamic instruction counts (DI, millions)
+//! and simulated cycles (C, thousands) for every workload/input across
+//! the six runtime configurations.
+//!
+//! Absolute magnitudes differ from the paper (scaled-down inputs on a
+//! software model); the columns' *relative* structure is the result.
+
+use mosaic_bench::{sweep, Options, Table};
+use mosaic_runtime::RuntimeConfig;
+use mosaic_workloads::Scale;
+
+fn main() {
+    let opts = Options::parse(Scale::Small, 8, 4);
+    eprintln!(
+        "Table 1 sweep: scale {:?}, {} cores ({}x{})",
+        opts.scale,
+        opts.cores(),
+        opts.cols,
+        opts.rows
+    );
+    let rows = sweep::table1_sweep(opts.scale, &opts.machine());
+
+    let configs: Vec<&str> = RuntimeConfig::table1_sweep()
+        .iter()
+        .map(|(l, _)| *l)
+        .collect();
+    let mut header = vec!["Cat", "Name"];
+    let mut sub = Vec::new();
+    for c in &configs {
+        sub.push(format!("{c} DI(K)"));
+        sub.push(format!("{c} C(K)"));
+    }
+    header.extend(sub.iter().map(|s| s.as_str()));
+    let mut table = Table::new(&header);
+    let mut all_verified = true;
+    for row in &rows {
+        let mut cells = vec![row.category.to_string(), row.name.clone()];
+        for r in &row.results {
+            match r {
+                Some(r) => {
+                    all_verified &= r.verified;
+                    cells.push(format!("{}", r.instructions / 1000));
+                    cells.push(format!("{}", r.cycles / 1000));
+                }
+                None => {
+                    cells.push("-".into());
+                    cells.push("-".into());
+                }
+            }
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+    println!(
+        "verification: {}",
+        if all_verified {
+            "all runs match host references"
+        } else {
+            "SOME RUNS FAILED"
+        }
+    );
+    assert!(all_verified);
+}

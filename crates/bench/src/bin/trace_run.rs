@@ -1,0 +1,40 @@
+//! Run one workload with tracing enabled and export a Chrome/Perfetto
+//! trace (`results/trace.json`) plus a utilization summary — visual
+//! inspection of how the work-stealing schedule unfolds across the
+//! mesh.
+//!
+//! Open the output at <https://ui.perfetto.dev> (rows = cores; "local"
+//! vs "stolen" task spans are color-categorized; steal instants and
+//! user marks are flagged).
+
+use mosaic_bench::Options;
+use mosaic_runtime::{trace, RuntimeConfig};
+use mosaic_workloads::{uts, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale::Tiny, 8, 4);
+    let bench = &uts::instances(opts.scale)[1]; // UTS-t3: the showcase
+    let cfg = RuntimeConfig {
+        trace: true,
+        ..RuntimeConfig::work_stealing()
+    };
+    let out = bench.run(opts.machine(), cfg);
+    out.assert_verified();
+    let r = &out.report;
+    let json = trace::to_chrome_json(&r.trace);
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write("results/trace.json", &json).expect("write trace");
+    let t = r.totals();
+    println!(
+        "{}: {} cycles, {} tasks ({} stolen), mean utilization {:.0}%",
+        bench.name(),
+        r.cycles,
+        t.tasks_executed,
+        t.steals,
+        100.0 * r.mean_utilization()
+    );
+    println!(
+        "wrote results/trace.json ({} events) — open in ui.perfetto.dev",
+        r.trace.len()
+    );
+}

@@ -1,0 +1,86 @@
+//! Minimal argument parsing shared by the harness binaries (no
+//! external CLI dependency needed for `--scale/--cols/--rows`).
+
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::Scale;
+
+/// Common harness options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Input scale preset.
+    pub scale: Scale,
+    /// Mesh columns.
+    pub cols: u16,
+    /// Mesh core rows.
+    pub rows: u16,
+}
+
+impl Options {
+    /// Parse from `std::env::args`, with the given defaults.
+    ///
+    /// Recognized flags: `--scale tiny|small|full`, `--cols N`,
+    /// `--rows N`, `--paper` (16x8 like the paper), `--help`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with usage output) on malformed arguments.
+    pub fn parse(default_scale: Scale, default_cols: u16, default_rows: u16) -> Options {
+        let mut opts = Options {
+            scale: default_scale,
+            cols: default_cols,
+            rows: default_rows,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    opts.scale = match v.as_str() {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "full" => Scale::Full,
+                        other => panic!("unknown scale {other:?} (tiny|small|full)"),
+                    };
+                }
+                "--cols" => {
+                    opts.cols = args
+                        .next()
+                        .expect("--cols needs a value")
+                        .parse()
+                        .expect("--cols must be an integer");
+                }
+                "--rows" => {
+                    opts.rows = args
+                        .next()
+                        .expect("--rows needs a value")
+                        .parse()
+                        .expect("--rows must be an integer");
+                }
+                "--paper" => {
+                    opts.cols = 16;
+                    opts.rows = 8;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --scale tiny|small|full   input sizes\n         \
+                         --cols N --rows N          mesh dimensions\n         \
+                         --paper                    16x8 = 128 cores (paper machine)"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown option {other:?} (try --help)"),
+            }
+        }
+        opts
+    }
+
+    /// The machine these options describe.
+    pub fn machine(&self) -> MachineConfig {
+        MachineConfig::small(self.cols, self.rows)
+    }
+
+    /// Core count.
+    pub fn cores(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+}

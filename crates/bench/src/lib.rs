@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # mosaic-bench
+//!
+//! Harnesses that regenerate every table and figure of the paper's
+//! evaluation (one binary per experiment; see `src/bin/`), plus
+//! Criterion benches over the runtime and simulator substrate.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 (DI and cycles, 6 configs x all workloads) |
+//! | `fig05_heatmap` | Fig. 5 remote-SPM latency heatmap |
+//! | `fig06_rd_duplication` | Fig. 6 read-only duplication, per kernel |
+//! | `fig07_fib_microbench` | Fig. 7 Fib / Fib-S placement study |
+//! | `fig09_speedup` | Fig. 9 speedup over the static baseline |
+//! | `fig10_dynamic` | Fig. 10 CilkSort + MatrixTranspose variants |
+//! | `fig11_scaling` | Fig. 11 scaling 1 to 128 cores |
+//! | `ablation_*` | design-choice ablations (grain, victim, ruche) |
+//!
+//! Every binary accepts `--scale tiny|small|full` and `--cols N
+//! --rows N` to trade fidelity against wall-clock time; defaults keep
+//! a full sweep in the minutes range on a laptop. `probe_*` binaries
+//! are calibration diagnostics, not paper experiments.
+
+pub mod cli;
+pub mod sweep;
+pub mod table;
+
+pub use cli::Options;
+pub use sweep::{run_sweep, ConfigResult, SweepRow};
+pub use table::Table;

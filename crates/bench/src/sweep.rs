@@ -1,0 +1,102 @@
+//! Shared sweep driver: run benchmark instances across the six
+//! Table-1 runtime configurations (used by `table1` and `fig09`).
+
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::{Benchmark, Scale};
+
+/// One (workload, config) measurement.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// Config label from [`RuntimeConfig::table1_sweep`].
+    pub config: &'static str,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Dynamic instructions.
+    pub instructions: u64,
+    /// Whether the run verified against the host reference.
+    pub verified: bool,
+}
+
+/// One benchmark across all configurations.
+#[derive(Debug)]
+pub struct SweepRow {
+    /// Benchmark display name.
+    pub name: String,
+    /// Table-1 category abbreviation.
+    pub category: &'static str,
+    /// Whether the static columns are meaningful for this workload.
+    pub has_static_baseline: bool,
+    /// Results in `RuntimeConfig::table1_sweep` order (static entries
+    /// are `None` for spawn-and-sync workloads).
+    pub results: Vec<Option<ConfigResult>>,
+}
+
+impl SweepRow {
+    /// Cycles of the static/SPM-stack baseline, if present.
+    pub fn static_baseline_cycles(&self) -> Option<u64> {
+        self.results
+            .iter()
+            .flatten()
+            .find(|r| r.config == "static/spm-stack")
+            .map(|r| r.cycles)
+    }
+
+    /// Cycles of the given config.
+    pub fn cycles_of(&self, config: &str) -> Option<u64> {
+        self.results
+            .iter()
+            .flatten()
+            .find(|r| r.config == config)
+            .map(|r| r.cycles)
+    }
+}
+
+/// Run every Table-1 benchmark at `scale` on `machine` across all six
+/// configurations, calling `progress` after each run.
+pub fn run_sweep(
+    benches: &[Box<dyn Benchmark>],
+    machine: &MachineConfig,
+    mut progress: impl FnMut(&str, &str, &ConfigResult),
+) -> Vec<SweepRow> {
+    let configs = RuntimeConfig::table1_sweep();
+    let mut rows = Vec::new();
+    for b in benches {
+        let mut results = Vec::new();
+        for (label, cfg) in &configs {
+            if label.starts_with("static") && !b.has_static_baseline() {
+                results.push(None);
+                continue;
+            }
+            let out = b.run(machine.clone(), cfg.clone());
+            let r = ConfigResult {
+                config: label,
+                cycles: out.report.cycles,
+                instructions: out.report.instructions(),
+                verified: out.verified,
+            };
+            progress(&b.name(), label, &r);
+            results.push(Some(r));
+        }
+        rows.push(SweepRow {
+            name: b.name(),
+            category: b.category().abbrev(),
+            has_static_baseline: b.has_static_baseline(),
+            results,
+        });
+    }
+    rows
+}
+
+/// Convenience: the full Table-1 sweep at a scale.
+pub fn table1_sweep(scale: Scale, machine: &MachineConfig) -> Vec<SweepRow> {
+    let benches = mosaic_workloads::table1_benchmarks(scale);
+    run_sweep(&benches, machine, |name, cfg, r| {
+        eprintln!(
+            "  {name:<18} {cfg:<22} {:>10} cycles  {:>10} instrs  {}",
+            r.cycles,
+            r.instructions,
+            if r.verified { "ok" } else { "FAILED-VERIFY" }
+        );
+    })
+}

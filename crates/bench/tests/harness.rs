@@ -1,0 +1,44 @@
+//! Tests of the harness plumbing itself: the sweep driver, table
+//! rendering, and figure helpers produce consistent artifacts.
+
+use mosaic_bench::{sweep, Table};
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::{fib::Fib, Benchmark};
+
+#[test]
+fn sweep_runs_all_configs_and_skips_missing_baselines() {
+    let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(Fib { n: 8 })];
+    let rows = sweep::run_sweep(&benches, &MachineConfig::small(2, 2), |_, _, _| {});
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert!(!row.has_static_baseline, "Fib has no static baseline");
+    assert_eq!(row.results.len(), RuntimeConfig::table1_sweep().len());
+    // Static slots empty, WS slots filled and verified.
+    assert_eq!(row.results.iter().filter(|r| r.is_none()).count(), 2);
+    for r in row.results.iter().flatten() {
+        assert!(r.verified, "{} failed", r.config);
+        assert!(r.cycles > 0 && r.instructions > 0);
+    }
+    assert!(row.static_baseline_cycles().is_none());
+    assert!(row.cycles_of("ws/spm-stack/spm-q").is_some());
+}
+
+#[test]
+fn sweep_rows_expose_baseline_for_loop_workloads() {
+    use mosaic_workloads::matmul::MatMul;
+    let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(MatMul { n: 16, seed: 1 })];
+    let rows = sweep::run_sweep(&benches, &MachineConfig::small(2, 2), |_, _, _| {});
+    assert!(rows[0].static_baseline_cycles().unwrap() > 0);
+}
+
+#[test]
+fn table_renders_all_rows() {
+    let mut t = Table::new(&["a", "b", "c"]);
+    for i in 0..5 {
+        t.row(vec![format!("r{i}"), format!("{}", i * 10), "x".into()]);
+    }
+    let s = t.render();
+    assert_eq!(s.lines().count(), 7); // header + rule + 5 rows
+    assert!(s.contains("r4"));
+}

@@ -1,0 +1,198 @@
+//! Runtime configuration: the axes the paper evaluates.
+//!
+//! Table 1 sweeps six configurations: a static-loop scheduler and the
+//! work-stealing runtime, each with the stack and (for work-stealing)
+//! the task queue placed in DRAM or SPM. Read-only-data duplication
+//! (§4.3) is a further toggle, enabled by default for all
+//! work-stealing configurations as in the paper.
+
+/// Which scheduler runs the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Statically partitioned parallel loops (the traditional manycore
+    /// baseline, paper §5.2). `parallel_invoke` degenerates to
+    /// sequential execution.
+    Static,
+    /// The Cilk/TBB-like work-stealing runtime (the contribution).
+    WorkStealing,
+    /// Work-*dealing* (related work: Zakkak & Pratikakis's JVM for
+    /// non-coherent manycores): loaded cores push tasks to cores that
+    /// advertise hunger; idle cores never touch remote queues. Shares
+    /// the queue/stack placement machinery with work-stealing.
+    WorkDealing,
+}
+
+/// Where a runtime data structure lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// In the shared DRAM address space (behind the LLC).
+    Dram,
+    /// In software-managed scratchpad memory.
+    Spm,
+}
+
+/// How a thief picks its victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VictimPolicy {
+    /// Uniformly random among other cores (the paper's policy).
+    Random,
+    /// Cycle through cores in id order (ablation).
+    RoundRobin,
+    /// Prefer mesh-nearest victims, expanding outward (ablation:
+    /// trades steal latency against finding work quickly).
+    Nearest,
+}
+
+/// How much a successful steal takes from the victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StealAmount {
+    /// One task from the head (the paper's policy).
+    One,
+    /// Half the victim's queue (steal-half, Dinan et al. SC'09);
+    /// the extra tasks are re-enqueued on the thief's own queue.
+    Half,
+}
+
+/// Complete runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Scheduler family.
+    pub scheduler: SchedulerKind,
+    /// Stack placement (both schedulers).
+    pub stack: Placement,
+    /// Task-queue placement (work-stealing only).
+    pub queue: Placement,
+    /// Read-only data duplication: capture loop environments by value
+    /// along the task tree instead of by reference to the root frame.
+    pub rd_duplication: bool,
+    /// Victim selection policy.
+    pub victim: VictimPolicy,
+    /// How much to steal per successful attempt.
+    pub steal_amount: StealAmount,
+    /// Task-queue capacity in entries when DRAM-allocated. (The SPM
+    /// queue derives its capacity from its 512-byte region.)
+    pub dram_queue_capacity: u32,
+    /// Bytes of SPM reserved for user data via `spm_reserve` (paper
+    /// §4: programmers declare their maximum SPM use up front).
+    pub spm_user_reserve: u32,
+    /// Bytes of the SPM dedicated to the task queue when SPM-placed.
+    pub spm_queue_bytes: u32,
+    /// Per-core DRAM stack / overflow buffer, in bytes (paper: 256 KB).
+    pub dram_stack_bytes: u32,
+    /// Record per-task execution spans and steal events (see
+    /// [`crate::trace`]); adds host-side overhead only.
+    pub trace: bool,
+}
+
+impl RuntimeConfig {
+    /// Work-dealing with the same SPM placements as
+    /// [`RuntimeConfig::work_stealing`] (related-work comparison).
+    pub fn work_dealing() -> Self {
+        RuntimeConfig {
+            scheduler: SchedulerKind::WorkDealing,
+            ..RuntimeConfig::work_stealing()
+        }
+    }
+
+    /// The paper's headline configuration: work-stealing with both the
+    /// stack and the task queue in SPM.
+    pub fn work_stealing() -> Self {
+        RuntimeConfig {
+            scheduler: SchedulerKind::WorkStealing,
+            stack: Placement::Spm,
+            queue: Placement::Spm,
+            rd_duplication: true,
+            victim: VictimPolicy::Random,
+            steal_amount: StealAmount::One,
+            dram_queue_capacity: 1024,
+            spm_user_reserve: 0,
+            spm_queue_bytes: 512,
+            dram_stack_bytes: 256 * 1024,
+            trace: false,
+        }
+    }
+
+    /// The naive work-stealing runtime of §3.2: all runtime data in
+    /// DRAM.
+    pub fn work_stealing_naive() -> Self {
+        RuntimeConfig {
+            stack: Placement::Dram,
+            queue: Placement::Dram,
+            ..RuntimeConfig::work_stealing()
+        }
+    }
+
+    /// The static-loop baseline with the given stack placement.
+    pub fn static_loops(stack: Placement) -> Self {
+        RuntimeConfig {
+            scheduler: SchedulerKind::Static,
+            stack,
+            ..RuntimeConfig::work_stealing()
+        }
+    }
+
+    /// All six configurations of Table 1, in column order, with a
+    /// short label for each.
+    pub fn table1_sweep() -> Vec<(&'static str, RuntimeConfig)> {
+        vec![
+            (
+                "static/dram-stack",
+                RuntimeConfig::static_loops(Placement::Dram),
+            ),
+            (
+                "static/spm-stack",
+                RuntimeConfig::static_loops(Placement::Spm),
+            ),
+            ("ws/dram-stack/dram-q", RuntimeConfig::work_stealing_naive()),
+            (
+                "ws/dram-stack/spm-q",
+                RuntimeConfig {
+                    stack: Placement::Dram,
+                    queue: Placement::Spm,
+                    ..RuntimeConfig::work_stealing()
+                },
+            ),
+            (
+                "ws/spm-stack/dram-q",
+                RuntimeConfig {
+                    stack: Placement::Spm,
+                    queue: Placement::Dram,
+                    ..RuntimeConfig::work_stealing()
+                },
+            ),
+            ("ws/spm-stack/spm-q", RuntimeConfig::work_stealing()),
+        ]
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::work_stealing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sweep_has_six_configs() {
+        let sweep = RuntimeConfig::table1_sweep();
+        assert_eq!(sweep.len(), 6);
+        assert_eq!(
+            sweep
+                .iter()
+                .filter(|(_, c)| c.scheduler == SchedulerKind::Static)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn naive_config_is_all_dram() {
+        let c = RuntimeConfig::work_stealing_naive();
+        assert_eq!(c.stack, Placement::Dram);
+        assert_eq!(c.queue, Placement::Dram);
+        assert_eq!(c.scheduler, SchedulerKind::WorkStealing);
+    }
+}

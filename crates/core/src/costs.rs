@@ -1,0 +1,80 @@
+//! The runtime's instruction-cost model.
+//!
+//! Workload memory traffic is simulated directly (every load/store/AMO
+//! is a timed event), but the *pure-compute* instructions surrounding
+//! them — address generation, branches, register shuffling — are
+//! charged from this table so dynamic instruction counts (Table 1's
+//! "DI") have the right relative magnitudes between the static and
+//! work-stealing runtimes. Values are small RV32 instruction counts
+//! estimated from the paper's description of each operation; at the
+//! modeled 1 instruction/cycle issue rate, instructions == cycles.
+
+/// Instruction/cycle charges for runtime-internal operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Constructing a task object (fields, vtable, metadata).
+    pub task_create: u64,
+    /// Bookkeeping around a queue push beyond its memory traffic.
+    pub enqueue_overhead: u64,
+    /// Bookkeeping around a queue pop / steal beyond memory traffic.
+    pub dequeue_overhead: u64,
+    /// One iteration of the scheduling loop (branches, checks).
+    pub sched_loop_overhead: u64,
+    /// Random victim selection (xorshift + bounds).
+    pub victim_select: u64,
+    /// Spin-lock backoff between failed acquire attempts, in cycles.
+    pub lock_backoff: u64,
+    /// Instructions per failed lock attempt (branch + retry setup).
+    pub lock_retry_overhead: u64,
+    /// Call/return overhead of a modeled function call (jal/ret plus
+    /// callee prologue/epilogue arithmetic).
+    pub call_overhead: u64,
+    /// Words of saved registers written on frame push (and read back
+    /// on pop): return address and frame pointer.
+    pub frame_save_words: u32,
+    /// Per-index overhead of a `parallel_for` leaf loop iteration.
+    pub loop_iter_overhead: u64,
+    /// Overhead of the static scheduler dispatching one kernel chunk.
+    pub static_dispatch: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            task_create: 8,
+            enqueue_overhead: 4,
+            dequeue_overhead: 4,
+            sched_loop_overhead: 4,
+            victim_select: 6,
+            lock_backoff: 16,
+            lock_retry_overhead: 2,
+            call_overhead: 4,
+            frame_save_words: 2,
+            loop_iter_overhead: 2,
+            static_dispatch: 12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_small_and_nonzero() {
+        let c = CostModel::default();
+        for v in [
+            c.task_create,
+            c.enqueue_overhead,
+            c.dequeue_overhead,
+            c.sched_loop_overhead,
+            c.victim_select,
+            c.lock_backoff,
+            c.call_overhead,
+            c.loop_iter_overhead,
+            c.static_dispatch,
+        ] {
+            assert!(v > 0 && v < 64, "cost {v} out of sane range");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The work-*dealing* scheduler (related-work comparison).
+//!
+//! Zakkak & Pratikakis built a JVM for non-cache-coherent manycores
+//! around work-dealing rather than work-stealing (paper §7); this
+//! module implements that policy over the same substrate so the two
+//! can be compared under identical placement and cost models:
+//!
+//! - Idle cores raise a *hunger* flag on a shared DRAM board and then
+//!   spin only on their **own** queue — no remote queue traffic from
+//!   the receiving side.
+//! - A core whose queue has piled past [`DEAL_THRESHOLD`] probes a few
+//!   hunger-board entries at spawn time; on finding a hungry core it
+//!   claims the flag with an AMO and pushes the new task onto the
+//!   hungry core's queue directly (remote lock + enqueue).
+//!
+//! The interesting contrast with stealing is *who pays*: dealing puts
+//! the distribution cost on the busy core's critical path and relies
+//! on the donor's guess about future imbalance, which is exactly why
+//! the paper's work-stealing choice wins on irregular workloads.
+
+use crate::ctx::TaskCtx;
+use crate::task::TaskBody;
+use crate::{lock, queue};
+use mosaic_mem::{Addr, AmoOp};
+use rand::Rng;
+
+/// Own-queue depth at which a spawning core starts dealing.
+pub const DEAL_THRESHOLD: u32 = 2;
+
+/// Hunger-board probes per dealing attempt.
+pub const DEAL_PROBES: u32 = 4;
+
+impl TaskCtx<'_> {
+    /// Try to find and claim a hungry core (returns its id).
+    fn claim_hungry(&mut self) -> Option<u32> {
+        let cores = self.sh.cores as u32;
+        for _ in 0..DEAL_PROBES {
+            let c = self.st.rng.random_range(0..cores);
+            if c == self.st.core {
+                continue;
+            }
+            let flag = self.sh.layout.hungry_addr(c);
+            if self.api.load(flag) != 0 {
+                // Claim it so two donors don't dogpile one core.
+                let old = self.api.amo(flag, AmoOp::Swap, 0);
+                if old != 0 {
+                    return Some(c);
+                }
+            }
+            self.api.charge(2, 2);
+        }
+        None
+    }
+
+    /// Work-dealing spawn path: if our queue is saturated and someone
+    /// is hungry, push the freshly created record (already registered)
+    /// onto their queue; otherwise enqueue locally. Returns `false`
+    /// when the task could not be enqueued anywhere (caller inlines).
+    pub(crate) fn deal_or_enqueue(&mut self, rec_addr: Addr) -> bool {
+        let costs = self.sh.costs;
+        let own_q = self.sh.layout.queue_block(&self.sh.map, self.st.core);
+        let own_lk = queue::lock_addr(own_q);
+
+        let backlog = queue::len(self.api, own_q);
+        if backlog >= DEAL_THRESHOLD {
+            if let Some(victim) = self.claim_hungry() {
+                let vq = self.sh.layout.queue_block(&self.sh.map, victim);
+                let vlk = queue::lock_addr(vq);
+                self.st.stats.lock_retries += lock::acquire(self.api, vlk, &costs);
+                let ok = queue::enqueue(self.api, vq, rec_addr.raw() as u32, &costs);
+                lock::release(self.api, vlk);
+                if ok {
+                    self.st.stats.deals += 1;
+                    return true;
+                }
+                // Their queue was full after all; fall through to ours.
+            }
+        }
+        self.st.stats.lock_retries += lock::acquire(self.api, own_lk, &costs);
+        let ok = queue::enqueue(self.api, own_q, rec_addr.raw() as u32, &costs);
+        lock::release(self.api, own_lk);
+        ok
+    }
+
+    /// The work-dealing scheduling loop: advertise hunger while idle,
+    /// execute from the own queue only.
+    pub(crate) fn dealing_loop(&mut self, wait_rc: Option<Addr>) {
+        let costs = self.sh.costs;
+        let own_q = self.sh.layout.queue_block(&self.sh.map, self.st.core);
+        let own_lk = queue::lock_addr(own_q);
+        let done = self.done_flag(self.st.core);
+        let hungry = self.sh.layout.hungry_addr(self.st.core);
+        let mut advertised = false;
+        loop {
+            self.api
+                .charge(costs.sched_loop_overhead, costs.sched_loop_overhead);
+            match wait_rc {
+                Some(rc) => {
+                    if self.api.load(rc) == 0 {
+                        break;
+                    }
+                }
+                None => {
+                    if self.api.load(done) != 0 {
+                        break;
+                    }
+                }
+            }
+            let task = if queue::len(self.api, own_q) > 0 {
+                self.st.stats.lock_retries += lock::acquire(self.api, own_lk, &costs);
+                let t = queue::dequeue(self.api, own_q, &costs);
+                lock::release(self.api, own_lk);
+                t
+            } else {
+                None
+            };
+            match task {
+                Some(t) => {
+                    if advertised {
+                        // We got fed (or produced our own work): stop
+                        // advertising while busy.
+                        self.api.store(hungry, 0);
+                        advertised = false;
+                    }
+                    self.execute_record(Addr(t as u64));
+                }
+                None => {
+                    if !advertised {
+                        self.api.store(hungry, 1);
+                        self.api.fence();
+                        advertised = true;
+                    }
+                    self.api.charge(1, 24);
+                }
+            }
+        }
+        if advertised {
+            self.api.store(hungry, 0);
+        }
+    }
+
+    /// Work-dealing body for [`TaskCtx::spawn`]: create the record the
+    /// same way, then route through [`TaskCtx::deal_or_enqueue`].
+    pub(crate) fn spawn_dealing(&mut self, rec_addr: Addr, body: TaskBody) {
+        self.sh.registry.insert(rec_addr.raw(), body);
+        self.st.stats.spawns += 1;
+        if !self.deal_or_enqueue(rec_addr) {
+            self.st.stats.inline_executions += 1;
+            self.execute_record(rec_addr);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Memory layout of runtime data structures.
+//!
+//! Per the paper (§4): the runtime claims whatever scratchpad the
+//! programmer did not reserve. From the top of each 4 KB SPM:
+//!
+//! ```text
+//! +--------------------------+  spm_size
+//! |  user data (spm_reserve) |
+//! +--------------------------+
+//! |  task queue (512 B)      |  only when queue placement = SPM;
+//! |   [lock][head][tail][..] |  SAME offset on every core, so a thief
+//! +--------------------------+  computes remote queue/lock addresses
+//! |  misc runtime words      |  directly (get_remote_ptr, Fig. 4b)
+//! +--------------------------+  <- stack top (grows down)
+//! |  stack ...               |
+//! |  v                       |
+//! +--------------------------+  0   <- DRAM-overflow threshold
+//! ```
+//!
+//! When the queue is DRAM-placed, thieves must first load the victim's
+//! queue pointer from a DRAM directory (`tq[]` in Fig. 4a) — the extra
+//! dependent access the SPM layout eliminates.
+
+use crate::config::{Placement, RuntimeConfig};
+use mosaic_mem::{Addr, AddrMap};
+
+/// Number of header words in a task-queue block: lock, head, tail,
+/// capacity.
+pub const QUEUE_HDR_WORDS: u32 = 4;
+
+/// Bytes of SPM kept for miscellaneous runtime words (done flag,
+/// static-scheduler mailbox).
+pub const MISC_BYTES: u32 = 32;
+
+/// Extra bytes per core of DRAM stack used to stagger (color) stack
+/// bases across cache banks and sets.
+pub const STACK_COLOR_BYTES: u64 = 4096;
+
+/// Byte offsets inside the misc region.
+pub mod misc {
+    /// Worker shutdown flag (written remotely by core 0 at exit).
+    pub const DONE_FLAG: u32 = 0;
+    /// Static-scheduler kernel generation mailbox.
+    pub const CMD: u32 = 4;
+    /// Static-scheduler chunk low bound.
+    pub const ARG_LO: u32 = 8;
+    /// Static-scheduler chunk high bound.
+    pub const ARG_HI: u32 = 12;
+}
+
+/// Resolved addresses/offsets of every runtime structure.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    cores: u32,
+    spm_size: u32,
+    stack: Placement,
+    queue: Placement,
+    /// SPM byte offset of the misc region (uniform across cores).
+    misc_off: u32,
+    /// SPM byte offset of the queue block when SPM-placed.
+    spm_queue_off: u32,
+    /// Entries in the SPM queue.
+    spm_queue_cap: u32,
+    /// Stack top offset: SPM stack occupies `[0, stack_top)`.
+    spm_stack_top: u32,
+    /// SPM byte offset of the user (`spm_reserve`) region.
+    user_off: u32,
+    /// DRAM base of the queue-pointer directory (`tq[]`), one word per
+    /// core; used only when the queue is DRAM-placed.
+    dram_dir: Addr,
+    /// DRAM base of the per-core queue blocks.
+    dram_queue_blocks: Addr,
+    /// Entries in each DRAM queue.
+    dram_queue_cap: u32,
+    /// Words per DRAM queue block (header + entries).
+    dram_queue_words: u32,
+    /// DRAM base of the per-core stack / overflow buffers.
+    dram_stacks: Addr,
+    /// Bytes per core of DRAM stack.
+    dram_stack_bytes: u32,
+    /// DRAM word used as the static scheduler's barrier counter.
+    barrier: Addr,
+    /// DRAM base of the work-dealing hunger board (one word per core).
+    hungry: Addr,
+}
+
+impl Layout {
+    /// Compute the layout for `config` on a machine with `cores` cores
+    /// of `spm_size`-byte SPMs, allocating DRAM blocks via `alloc`
+    /// (which must return 16-byte-aligned addresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SPM budget is over-committed (user reservation +
+    /// queue + misc exceed the SPM, or no room is left for the stack
+    /// when the stack is SPM-placed).
+    pub fn compute(
+        config: &RuntimeConfig,
+        cores: u32,
+        spm_size: u32,
+        mut alloc: impl FnMut(u64) -> Addr,
+    ) -> Layout {
+        let user = config.spm_user_reserve;
+        assert!(user <= spm_size, "spm_reserve exceeds the scratchpad");
+        let user_off = spm_size - user;
+
+        let queue_bytes = if config.queue == Placement::Spm {
+            config.spm_queue_bytes
+        } else {
+            0
+        };
+        assert!(
+            queue_bytes % 4 == 0 && (queue_bytes == 0 || queue_bytes / 4 > QUEUE_HDR_WORDS),
+            "SPM queue region too small for header"
+        );
+        assert!(
+            user + queue_bytes + MISC_BYTES <= spm_size,
+            "SPM over-committed: user {user} + queue {queue_bytes} + misc"
+        );
+        let spm_queue_off = user_off - queue_bytes;
+        let spm_queue_cap = if queue_bytes > 0 {
+            queue_bytes / 4 - QUEUE_HDR_WORDS
+        } else {
+            0
+        };
+        let misc_off = spm_queue_off - MISC_BYTES;
+        let spm_stack_top = misc_off;
+        if config.stack == Placement::Spm {
+            assert!(
+                spm_stack_top >= 64,
+                "no usable SPM left for the stack ({spm_stack_top} bytes)"
+            );
+        }
+
+        let dram_queue_cap = config.dram_queue_capacity;
+        let dram_queue_words = QUEUE_HDR_WORDS + dram_queue_cap;
+        let dram_dir = alloc(cores as u64 * 4);
+        let dram_queue_blocks = alloc(cores as u64 * dram_queue_words as u64 * 4);
+        // Per-core stacks get an extra coloring page: a power-of-two
+        // stride would alias every core's hot stack lines onto the
+        // same LLC bank/set and DRAM bank (real allocators stagger
+        // mappings; see dram_stack_top).
+        let dram_stacks =
+            alloc(cores as u64 * (config.dram_stack_bytes as u64 + STACK_COLOR_BYTES));
+        let barrier = alloc(4);
+        let hungry = alloc(cores as u64 * 4);
+
+        Layout {
+            cores,
+            spm_size,
+            stack: config.stack,
+            queue: config.queue,
+            misc_off,
+            spm_queue_off,
+            spm_queue_cap,
+            spm_stack_top,
+            user_off,
+            dram_dir,
+            dram_queue_blocks,
+            dram_queue_cap,
+            dram_queue_words,
+            dram_stacks,
+            dram_stack_bytes: config.dram_stack_bytes,
+            barrier,
+            hungry,
+        }
+    }
+
+    /// The work-dealing hunger flag of `core` (a DRAM word).
+    pub fn hungry_addr(&self, core: u32) -> Addr {
+        self.hungry.offset(core as u64 * 4)
+    }
+
+    /// The static scheduler's barrier counter (a DRAM word).
+    pub fn barrier_addr(&self) -> Addr {
+        self.barrier
+    }
+
+    /// Stack placement.
+    pub fn stack_placement(&self) -> Placement {
+        self.stack
+    }
+
+    /// Queue placement.
+    pub fn queue_placement(&self) -> Placement {
+        self.queue
+    }
+
+    /// Address of a misc word (see [`misc`]) in `core`'s SPM.
+    pub fn misc_addr(&self, map: &AddrMap, core: u32, which: u32) -> Addr {
+        debug_assert!(which < MISC_BYTES);
+        map.spm_addr(core, self.misc_off + which)
+    }
+
+    /// Base address of `core`'s task-queue block (header word 0 is the
+    /// lock).
+    pub fn queue_block(&self, map: &AddrMap, core: u32) -> Addr {
+        match self.queue {
+            Placement::Spm => map.spm_addr(core, self.spm_queue_off),
+            Placement::Dram => self
+                .dram_queue_blocks
+                .offset(core as u64 * self.dram_queue_words as u64 * 4),
+        }
+    }
+
+    /// Queue capacity in entries.
+    pub fn queue_capacity(&self) -> u32 {
+        match self.queue {
+            Placement::Spm => self.spm_queue_cap,
+            Placement::Dram => self.dram_queue_cap,
+        }
+    }
+
+    /// Address of the DRAM directory entry holding `core`'s queue
+    /// pointer (`&tq[core]`, Fig. 4a). Only meaningful for DRAM queues.
+    pub fn queue_dir_entry(&self, core: u32) -> Addr {
+        self.dram_dir.offset(core as u64 * 4)
+    }
+
+    /// Top (exclusive, grows down) of `core`'s SPM stack region, as a
+    /// byte offset; the DRAM-overflow threshold is offset 0.
+    pub fn spm_stack_top(&self) -> u32 {
+        self.spm_stack_top
+    }
+
+    /// SPM stack capacity in words.
+    pub fn spm_stack_words(&self) -> u32 {
+        self.spm_stack_top / 4
+    }
+
+    /// Top (exclusive, grows down) of `core`'s DRAM stack / overflow
+    /// buffer. Tops are staggered by a per-core line-granular color so
+    /// hot stack lines spread across LLC banks, sets, and DRAM banks.
+    pub fn dram_stack_top(&self, core: u32) -> Addr {
+        let stride = self.dram_stack_bytes as u64 + STACK_COLOR_BYTES;
+        let color = (core as u64 % (STACK_COLOR_BYTES / 64)) * 64;
+        self.dram_stacks.offset((core as u64 + 1) * stride - color)
+    }
+
+    /// DRAM stack capacity in words (per core).
+    pub fn dram_stack_words(&self) -> u32 {
+        self.dram_stack_bytes / 4
+    }
+
+    /// Base byte offset of the user `spm_reserve` region.
+    pub fn user_region_off(&self) -> u32 {
+        self.user_off
+    }
+
+    /// Bytes available to `spm_malloc`.
+    pub fn user_region_bytes(&self) -> u32 {
+        self.spm_size - self.user_off
+    }
+
+    /// Number of cores this layout spans.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Initialize simulated memory: queue headers (capacity word) and,
+    /// for DRAM queues, the `tq[]` pointer directory.
+    pub fn initialize(&self, map: &AddrMap, mut poke: impl FnMut(Addr, u32)) {
+        for core in 0..self.cores {
+            let q = self.queue_block(map, core);
+            poke(q.offset_words(3), self.queue_capacity());
+            if self.queue == Placement::Dram {
+                poke(self.queue_dir_entry(core), q.raw() as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+
+    fn layout(cfg: &RuntimeConfig) -> (Layout, AddrMap) {
+        let map = AddrMap::new(8, 4096);
+        let mut brk = 0u64;
+        let l = Layout::compute(cfg, 8, 4096, |bytes| {
+            let a = Addr(mosaic_mem::AddrMap::DRAM_BASE + brk);
+            brk += (bytes + 15) & !15;
+            a
+        });
+        (l, map)
+    }
+
+    #[test]
+    fn spm_regions_are_disjoint_and_ordered() {
+        let cfg = RuntimeConfig {
+            spm_user_reserve: 1024,
+            ..RuntimeConfig::work_stealing()
+        };
+        let (l, _) = layout(&cfg);
+        assert_eq!(l.user_region_off(), 4096 - 1024);
+        assert_eq!(l.user_region_bytes(), 1024);
+        // queue sits right below user, misc below queue, stack below misc
+        assert_eq!(l.spm_queue_off, 4096 - 1024 - 512);
+        assert_eq!(l.misc_off, l.spm_queue_off - MISC_BYTES);
+        assert_eq!(l.spm_stack_top(), l.misc_off);
+        assert!(l.spm_stack_words() > 0);
+    }
+
+    #[test]
+    fn dram_queue_frees_spm_for_stack() {
+        let spm_q = RuntimeConfig::work_stealing();
+        let dram_q = RuntimeConfig {
+            queue: Placement::Dram,
+            ..RuntimeConfig::work_stealing()
+        };
+        let (l_spm, _) = layout(&spm_q);
+        let (l_dram, _) = layout(&dram_q);
+        assert_eq!(
+            l_dram.spm_stack_top() - l_spm.spm_stack_top(),
+            spm_q.spm_queue_bytes
+        );
+    }
+
+    #[test]
+    fn spm_queue_capacity_matches_512_bytes() {
+        let (l, _) = layout(&RuntimeConfig::work_stealing());
+        assert_eq!(l.queue_capacity(), 512 / 4 - QUEUE_HDR_WORDS);
+    }
+
+    #[test]
+    fn queue_block_offset_uniform_across_cores() {
+        let (l, map) = layout(&RuntimeConfig::work_stealing());
+        let base0 = l.queue_block(&map, 0).raw() - map.spm_addr(0, 0).raw();
+        let base5 = l.queue_block(&map, 5).raw() - map.spm_addr(5, 0).raw();
+        assert_eq!(base0, base5, "thieves rely on a fixed offset");
+    }
+
+    #[test]
+    fn dram_queues_are_disjoint_per_core() {
+        let cfg = RuntimeConfig {
+            queue: Placement::Dram,
+            ..RuntimeConfig::work_stealing()
+        };
+        let (l, map) = layout(&cfg);
+        let b0 = l.queue_block(&map, 0);
+        let b1 = l.queue_block(&map, 1);
+        assert!(b1.raw() >= b0.raw() + (QUEUE_HDR_WORDS + l.queue_capacity()) as u64 * 4);
+    }
+
+    #[test]
+    fn initialize_writes_capacity_and_directory() {
+        let cfg = RuntimeConfig {
+            queue: Placement::Dram,
+            ..RuntimeConfig::work_stealing()
+        };
+        let (l, map) = layout(&cfg);
+        let mut writes = std::collections::HashMap::new();
+        l.initialize(&map, |a, v| {
+            writes.insert(a, v);
+        });
+        let q0 = l.queue_block(&map, 0);
+        assert_eq!(writes[&q0.offset_words(3)], l.queue_capacity());
+        assert_eq!(writes[&l.queue_dir_entry(0)], q0.raw() as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-committed")]
+    fn over_reservation_panics() {
+        let cfg = RuntimeConfig {
+            spm_user_reserve: 4096,
+            ..RuntimeConfig::work_stealing()
+        };
+        layout(&cfg);
+    }
+
+    #[test]
+    fn dram_stack_regions_are_disjoint() {
+        let (l, _) = layout(&RuntimeConfig::work_stealing());
+        for core in 0..7u32 {
+            // Region of core (top-down dram_stack_bytes) must not
+            // cross into core+1's region.
+            let top = l.dram_stack_top(core).raw();
+            let next_base = l.dram_stack_top(core + 1).raw() - l.dram_stack_bytes as u64;
+            assert!(top <= next_base, "core {core} stack overlaps successor");
+        }
+    }
+
+    #[test]
+    fn dram_stack_tops_are_colored_across_banks() {
+        let (l, _) = layout(&RuntimeConfig::work_stealing());
+        // With a 64 B line and power-of-two bank count, identical
+        // (top % (banks * 64)) across cores would mean single-bank
+        // aliasing; coloring must spread them.
+        let banks = 16u64;
+        let mut seen = std::collections::HashSet::new();
+        for core in 0..16u32 {
+            seen.insert(l.dram_stack_top(core).raw() / 64 % banks);
+        }
+        assert!(seen.len() > 8, "stack tops alias to {} banks", seen.len());
+    }
+}

@@ -1,0 +1,168 @@
+//! [`Mosaic`]: configure a machine + runtime, load inputs, run `main`.
+
+use crate::config::{RuntimeConfig, SchedulerKind};
+use crate::costs::CostModel;
+use crate::ctx::{Shared, TaskCtx};
+use crate::layout::Layout;
+use crate::static_sched;
+use crate::stats::{RunReport, WorkerStats};
+use crate::task::Registry;
+use mosaic_sim::{Engine, Machine, MachineConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A configured Mosaic system: a simulated machine plus a runtime.
+///
+/// Typical use: construct, allocate and initialize inputs through
+/// [`Mosaic::machine_mut`], then [`Mosaic::run`] a `main` closure that
+/// uses the [`TaskCtx`] API ([`TaskCtx::parallel_for`] and friends).
+///
+/// # Example
+///
+/// ```
+/// use mosaic_runtime::{Mosaic, RuntimeConfig};
+/// use mosaic_sim::MachineConfig;
+///
+/// let mut sys = Mosaic::new(MachineConfig::small(4, 2), RuntimeConfig::work_stealing());
+/// let data = sys.machine_mut().dram_alloc_init(&[1, 2, 3, 4, 5, 6, 7, 8]);
+/// let out = sys.machine_mut().dram_alloc_words(8);
+/// let report = sys.run(move |ctx| {
+///     ctx.parallel_for(0, 8, 2, 2, move |ctx, i| {
+///         let v = ctx.load(data.offset_words(i as u64));
+///         ctx.store(out.offset_words(i as u64), v * 10);
+///     });
+/// });
+/// assert_eq!(report.machine.peek(out.offset_words(3)), 40);
+/// ```
+pub struct Mosaic {
+    machine: Machine,
+    config: RuntimeConfig,
+    costs: CostModel,
+}
+
+impl Mosaic {
+    /// A Mosaic system on a fresh machine.
+    pub fn new(machine: MachineConfig, config: RuntimeConfig) -> Self {
+        Mosaic {
+            machine: Machine::new(machine),
+            config,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// The machine, for pre-run input loading (`dram_alloc*`, `poke`).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The machine, read-only.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Override the instruction-cost model (ablation studies).
+    pub fn set_costs(&mut self, costs: CostModel) {
+        self.costs = costs;
+    }
+
+    /// Run `main` on core 0 to completion and return the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panics, or if the SPM budget is
+    /// over-committed by the configuration.
+    pub fn run<F>(self, main: F) -> RunReport
+    where
+        F: FnOnce(&mut TaskCtx<'_>) + Send + 'static,
+    {
+        let Mosaic {
+            mut machine,
+            config,
+            costs,
+        } = self;
+        let cores = machine.core_count();
+        let spm_size = machine.config().spm_size;
+        let layout = Layout::compute(&config, cores as u32, spm_size, |bytes| {
+            machine.dram_alloc(bytes)
+        });
+        let map = machine.addr_map().clone();
+        layout.initialize(&map, |addr, value| machine.poke(addr, value));
+
+        let scheduler = config.scheduler;
+        let trace = config.trace.then(|| Mutex::new(Vec::new()));
+        let shared = Arc::new(Shared {
+            config,
+            costs,
+            layout,
+            map,
+            registry: Registry::new(),
+            static_slot: Mutex::new(None),
+            marks: Mutex::new(Vec::new()),
+            finished_stats: Mutex::new(Vec::new()),
+            seed: machine.config().seed,
+            sw_overflow_penalty: machine.config().sw_overflow_penalty,
+            cores,
+            mesh_cols: machine.config().cols,
+            trace,
+        });
+        let main_cell: Arc<Mutex<Option<crate::task::TaskBody>>> =
+            Arc::new(Mutex::new(Some(Box::new(main))));
+
+        let sh_factory = shared.clone();
+        let report = Engine::run(machine, move |core| {
+            let sh = sh_factory.clone();
+            let main_cell = main_cell.clone();
+            Box::new(move |api| {
+                let mut ctx = TaskCtx::new(api, &sh, core);
+                if core == 0 {
+                    let main = main_cell.lock().take().expect("main already taken");
+                    ctx.run_main(main);
+                } else {
+                    match scheduler {
+                        SchedulerKind::WorkStealing => ctx.scheduling_loop(None),
+                        SchedulerKind::WorkDealing => ctx.dealing_loop(None),
+                        SchedulerKind::Static => static_sched::static_worker_loop(&mut ctx),
+                    }
+                }
+                ctx.finish();
+            })
+        });
+
+        debug_assert!(
+            shared.registry.is_empty(),
+            "tasks left unexecuted at shutdown"
+        );
+        let mut worker_stats = vec![WorkerStats::default(); cores];
+        for (core, stats) in shared.finished_stats.lock().drain(..) {
+            worker_stats[core] = stats;
+        }
+        let marks = shared.marks.lock().clone();
+        let trace = shared
+            .trace
+            .as_ref()
+            .map(|t| std::mem::take(&mut *t.lock()))
+            .unwrap_or_default();
+        RunReport {
+            cycles: report.cycles,
+            counters: report.counters,
+            machine: report.machine,
+            worker_stats,
+            marks,
+            trace,
+        }
+    }
+}
+
+impl std::fmt::Debug for Mosaic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mosaic")
+            .field("cores", &self.machine.core_count())
+            .field("config", &self.config)
+            .finish()
+    }
+}

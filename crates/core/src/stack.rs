@@ -1,0 +1,233 @@
+//! The per-core call-stack engine with DRAM overflow.
+//!
+//! Models the paper's §4.1 mechanism: when the stack is SPM-placed, a
+//! hardware extension snoops the stack pointer against an overflow
+//! threshold CSR; frames that would cross below the threshold are
+//! redirected to a per-core DRAM overflow buffer ("overflowing to
+//! DRAM"). The *bottom* frames stay in SPM, deep frames go to DRAM,
+//! and popping back re-enters SPM — exactly the simple-but-less-ideal
+//! scheme the paper chose. When the stack is DRAM-placed, every frame
+//! lives in the DRAM buffer.
+//!
+//! This type is pure bookkeeping (which addresses a frame occupies);
+//! the caller charges the actual save/restore memory traffic.
+
+use crate::config::Placement;
+use mosaic_mem::{Addr, AddrMap};
+
+/// One live frame (or anonymous in-frame allocation).
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    words: u32,
+    in_dram: bool,
+}
+
+/// Per-core stack state.
+#[derive(Debug)]
+pub struct StackEngine {
+    core: u32,
+    placement: Placement,
+    /// SPM byte offset of the stack top (grows down toward 0).
+    spm_top_off: u32,
+    /// SPM stack capacity in words.
+    spm_words: u32,
+    /// Top (exclusive) of the DRAM stack/overflow buffer.
+    dram_top: Addr,
+    /// DRAM stack capacity in words.
+    dram_words: u32,
+    /// Words currently allocated in the SPM region.
+    spm_depth: u32,
+    /// Words currently allocated in the DRAM region.
+    dram_depth: u32,
+    frames: Vec<Frame>,
+    /// Frames that overflowed to DRAM while SPM-placed.
+    pub overflowed_frames: u64,
+    /// High-water mark of total depth, in words.
+    pub max_depth_words: u32,
+}
+
+impl StackEngine {
+    /// A fresh, empty stack for `core`.
+    pub fn new(
+        core: u32,
+        placement: Placement,
+        spm_top_off: u32,
+        dram_top: Addr,
+        dram_words: u32,
+    ) -> Self {
+        StackEngine {
+            core,
+            placement,
+            spm_top_off,
+            spm_words: spm_top_off / 4,
+            dram_top,
+            dram_words,
+            spm_depth: 0,
+            dram_depth: 0,
+            frames: Vec::new(),
+            overflowed_frames: 0,
+            max_depth_words: 0,
+        }
+    }
+
+    /// Allocate a frame of `words`; returns the address of its lowest
+    /// word (word `i` of the frame is at `base + 4*i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if even the DRAM buffer is exhausted (a true stack
+    /// overflow — a program bug at the modeled scale).
+    pub fn push(&mut self, words: u32, map: &AddrMap) -> Addr {
+        let use_dram = match self.placement {
+            Placement::Dram => true,
+            Placement::Spm => {
+                // A frame that would cross the overflow threshold is
+                // redirected entirely to DRAM (the pointer-rewrite in
+                // the paper's SW scheme / CSR swap in the HW scheme).
+                // Once frames live in DRAM, later frames stay there
+                // until the DRAM ones pop (the stack pointer is in the
+                // DRAM buffer region).
+                self.dram_depth > 0 || self.spm_depth + words > self.spm_words
+            }
+        };
+        let base = if use_dram {
+            if self.placement == Placement::Spm {
+                self.overflowed_frames += 1;
+            }
+            assert!(
+                self.dram_depth + words <= self.dram_words,
+                "core {}: DRAM stack buffer exhausted at depth {} words",
+                self.core,
+                self.dram_depth
+            );
+            self.dram_depth += words;
+            Addr(self.dram_top.raw() - self.dram_depth as u64 * 4)
+        } else {
+            self.spm_depth += words;
+            map.spm_addr(self.core, self.spm_top_off - self.spm_depth * 4)
+        };
+        self.frames.push(Frame {
+            words,
+            in_dram: use_dram,
+        });
+        self.max_depth_words = self.max_depth_words.max(self.spm_depth + self.dram_depth);
+        base
+    }
+
+    /// Free the most recent frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pop of an empty stack.
+    pub fn pop(&mut self) {
+        let f = self.frames.pop().expect("stack pop with no frames");
+        if f.in_dram {
+            self.dram_depth -= f.words;
+        } else {
+            self.spm_depth -= f.words;
+        }
+    }
+
+    /// Total live words (SPM + DRAM).
+    pub fn depth_words(&self) -> u32 {
+        self.spm_depth + self.dram_depth
+    }
+
+    /// Live frame count.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when the most recent frame lives in DRAM.
+    pub fn top_in_dram(&self) -> bool {
+        self.frames.last().is_some_and(|f| f.in_dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddrMap {
+        AddrMap::new(4, 4096)
+    }
+
+    fn engine(placement: Placement, spm_top: u32) -> StackEngine {
+        StackEngine::new(0, placement, spm_top, Addr(0x9000_0000), 1024)
+    }
+
+    #[test]
+    fn spm_frames_grow_down_from_top() {
+        let m = map();
+        let mut s = engine(Placement::Spm, 256);
+        let f1 = s.push(4, &m);
+        let f2 = s.push(4, &m);
+        assert_eq!(f1, m.spm_addr(0, 256 - 16));
+        assert_eq!(f2, m.spm_addr(0, 256 - 32));
+        assert!(!s.top_in_dram());
+    }
+
+    #[test]
+    fn dram_placement_never_touches_spm() {
+        let m = map();
+        let mut s = engine(Placement::Dram, 256);
+        let f = s.push(4, &m);
+        assert!(f.raw() < 0x9000_0000 && f.raw() >= 0x9000_0000 - 1024 * 4);
+        assert!(s.top_in_dram());
+        assert_eq!(s.overflowed_frames, 0, "DRAM placement is not overflow");
+    }
+
+    #[test]
+    fn overflow_to_dram_and_back() {
+        let m = map();
+        let mut s = engine(Placement::Spm, 64); // 16 words of SPM stack
+        let _a = s.push(10, &m); // fits (10 <= 16)
+        let b = s.push(10, &m); // crosses: goes to DRAM
+        assert!(b.raw() >= 0x8000_0000, "overflow frame must be in DRAM");
+        assert_eq!(s.overflowed_frames, 1);
+        // While DRAM frames are live, new frames stay in DRAM even if
+        // small (the stack pointer is in the DRAM region).
+        let c = s.push(2, &m);
+        assert!(c.raw() >= 0x8000_0000);
+        s.pop();
+        s.pop();
+        // Back under the threshold: SPM again.
+        let d = s.push(4, &m);
+        assert!(d.raw() < 0x8000_0000, "post-overflow frames return to SPM");
+        assert_eq!(s.depth_words(), 14);
+    }
+
+    #[test]
+    fn exact_fit_stays_in_spm() {
+        let m = map();
+        let mut s = engine(Placement::Spm, 64);
+        s.push(16, &m); // exactly 16 words
+        assert!(!s.top_in_dram());
+        assert_eq!(s.overflowed_frames, 0);
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water() {
+        let m = map();
+        let mut s = engine(Placement::Spm, 256);
+        s.push(8, &m);
+        s.push(8, &m);
+        s.pop();
+        s.push(2, &m);
+        assert_eq!(s.max_depth_words, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "DRAM stack buffer exhausted")]
+    fn dram_exhaustion_panics() {
+        let m = map();
+        let mut s = engine(Placement::Dram, 256);
+        s.push(2048, &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames")]
+    fn underflow_panics() {
+        engine(Placement::Spm, 256).pop();
+    }
+}

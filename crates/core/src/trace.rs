@@ -1,0 +1,177 @@
+//! Execution tracing: per-core task spans and steal events, exportable
+//! as a Chrome trace (`chrome://tracing` / Perfetto JSON) so schedules
+//! can be inspected visually.
+//!
+//! Tracing is off by default ([`RuntimeConfig::trace`]); when on, the
+//! runtime records one span per executed task and one instant event
+//! per successful steal. Spans carry the executing core as the trace
+//! "thread", so the Perfetto timeline shows exactly how work spread
+//! across the machine.
+//!
+//! [`RuntimeConfig::trace`]: crate::RuntimeConfig
+
+use mosaic_sim::Cycle;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task executed on `core` over `[start, end)`; `record` is the
+    /// task-record address (a stable task identity).
+    Task {
+        /// Executing core.
+        core: u32,
+        /// Task-record address.
+        record: u64,
+        /// First cycle of execution.
+        start: Cycle,
+        /// Cycle the task (and its join) completed.
+        end: Cycle,
+        /// Whether this core stole the task.
+        stolen: bool,
+    },
+    /// A successful steal: `thief` took a task from `victim` at `at`.
+    Steal {
+        /// The stealing core.
+        thief: u32,
+        /// The core whose queue was robbed.
+        victim: u32,
+        /// Cycle of the steal.
+        at: Cycle,
+    },
+    /// A user mark (label + cycle), duplicated from `RunReport::marks`
+    /// so exported traces are self-contained.
+    Mark {
+        /// Core that recorded the mark.
+        core: u32,
+        /// Label.
+        label: String,
+        /// Cycle.
+        at: Cycle,
+    },
+}
+
+/// Render events as Chrome trace-event JSON (the `traceEvents` array
+/// format understood by `chrome://tracing` and Perfetto). Cycles map
+/// to microseconds 1:1 so the UI's zoom levels behave.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    for e in events {
+        match e {
+            TraceEvent::Task {
+                core,
+                record,
+                start,
+                end,
+                stolen,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":\"task {record:#x}\",\"cat\":\"{}\",\"ph\":\"X\",\
+                         \"ts\":{start},\"dur\":{},\"pid\":0,\"tid\":{core}}}",
+                        if *stolen { "stolen" } else { "local" },
+                        end.saturating_sub(*start).max(1),
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::Steal { thief, victim, at } => {
+                push(
+                    format!(
+                        "{{\"name\":\"steal from {victim}\",\"cat\":\"steal\",\"ph\":\"i\",\
+                         \"ts\":{at},\"pid\":0,\"tid\":{thief},\"s\":\"t\"}}"
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::Mark { core, label, at } => {
+                push(
+                    format!(
+                        "{{\"name\":{},\"cat\":\"mark\",\"ph\":\"i\",\
+                         \"ts\":{at},\"pid\":0,\"tid\":{core},\"s\":\"g\"}}",
+                        json_string(label)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Minimal JSON string escaping (labels are runtime-generated ASCII).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_json_is_well_formed_enough() {
+        let events = vec![
+            TraceEvent::Task {
+                core: 3,
+                record: 0x1000,
+                start: 10,
+                end: 50,
+                stolen: true,
+            },
+            TraceEvent::Steal {
+                thief: 3,
+                victim: 0,
+                at: 9,
+            },
+            TraceEvent::Mark {
+                core: 0,
+                label: "iter0:\"K1\"".into(),
+                at: 5,
+            },
+        ];
+        let json = to_chrome_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\\\"K1\\\""));
+        assert!(json.trim_end().ends_with("]}"));
+        // Balanced braces (cheap sanity without a JSON parser).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn zero_length_tasks_get_min_duration() {
+        let json = to_chrome_json(&[TraceEvent::Task {
+            core: 0,
+            record: 1,
+            start: 7,
+            end: 7,
+            stolen: false,
+        }]);
+        assert!(json.contains("\"dur\":1"));
+    }
+}

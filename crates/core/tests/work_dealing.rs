@@ -1,0 +1,85 @@
+//! Integration tests for the work-dealing scheduler (related-work
+//! comparison): correctness across the workload patterns, and the
+//! defining behavioural contrast with work-stealing.
+
+use mosaic_runtime::{Mosaic, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn dealing_computes_parallel_for_correctly() {
+    let mut sys = Mosaic::new(MachineConfig::small(4, 2), RuntimeConfig::work_dealing());
+    let d = sys.machine_mut().dram_alloc_words(128);
+    let report = sys.run(move |ctx| {
+        ctx.parallel_for(0, 128, 4, 2, move |ctx, i| {
+            ctx.store(d.offset_words(i as u64), 2 * i + 1);
+        });
+    });
+    for i in 0..128u64 {
+        assert_eq!(report.machine.peek(d.offset_words(i)), 2 * i as u32 + 1);
+    }
+    assert_eq!(report.totals().steals, 0, "dealing never steals");
+}
+
+#[test]
+fn dealing_actually_distributes_work() {
+    let cores_seen: Arc<Vec<AtomicUsize>> = Arc::new((0..8).map(|_| AtomicUsize::new(0)).collect());
+    let cs = cores_seen.clone();
+    let sys = Mosaic::new(MachineConfig::small(4, 2), RuntimeConfig::work_dealing());
+    let report = sys.run(move |ctx| {
+        for _ in 0..64 {
+            let cs = cs.clone();
+            ctx.spawn(move |ctx| {
+                cs[ctx.core_id()].fetch_add(1, Ordering::Relaxed);
+                ctx.compute(50, 400);
+            });
+        }
+        ctx.wait();
+    });
+    let active = cores_seen
+        .iter()
+        .filter(|a| a.load(Ordering::Relaxed) > 0)
+        .count();
+    assert!(
+        active >= 3,
+        "dealing should spread work, got {active} cores"
+    );
+    assert!(report.totals().deals > 0, "no tasks were dealt");
+}
+
+#[test]
+fn dealing_reduce_matches_fold() {
+    let sys = Mosaic::new(MachineConfig::small(4, 2), RuntimeConfig::work_dealing());
+    let out = Arc::new(AtomicU64::new(0));
+    let o = out.clone();
+    sys.run(move |ctx| {
+        let s = ctx.parallel_reduce(
+            0,
+            300,
+            4,
+            2,
+            0u64,
+            |ctx, i| {
+                ctx.compute(2, 2);
+                i as u64
+            },
+            |a, b| a + b,
+        );
+        o.store(s, Ordering::Relaxed);
+    });
+    assert_eq!(out.load(Ordering::Relaxed), (0..300u64).sum());
+}
+
+#[test]
+fn dealing_single_core_degenerates() {
+    let sys = Mosaic::new(MachineConfig::small(1, 1), RuntimeConfig::work_dealing());
+    let out = Arc::new(AtomicU64::new(0));
+    let o = out.clone();
+    let report = sys.run(move |ctx| {
+        let s = ctx.parallel_reduce(0, 40, 2, 2, 0u64, |_ctx, i| i as u64, |a, b| a + b);
+        o.store(s, Ordering::Relaxed);
+    });
+    assert_eq!(out.load(Ordering::Relaxed), 780);
+    assert_eq!(report.totals().deals, 0);
+}

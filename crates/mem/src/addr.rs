@@ -1,0 +1,266 @@
+//! The partitioned global address space (PGAS).
+//!
+//! HammerBlade maps the core-local scratchpad, every remote scratchpad,
+//! and DRAM to non-intersecting regions of each core's address space
+//! (paper §2.1). We reproduce that with a flat 32-bit-style map:
+//!
+//! ```text
+//! 0x1000_0000 + core * 0x0001_0000 .. + spm_size   SPM of `core`
+//! 0x8000_0000 .. 0x8000_0000 + dram_size           DRAM (via LLC)
+//! ```
+//!
+//! All accesses are word (4-byte) granular, matching the RV32 cores.
+
+use std::fmt;
+
+/// A byte address in the simulated PGAS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The byte address as a raw integer.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This address plus `bytes`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// This address plus `words * 4` bytes.
+    #[must_use]
+    pub fn offset_words(self, words: u64) -> Addr {
+        Addr(self.0 + 4 * words)
+    }
+
+    /// `true` when 4-byte aligned.
+    pub fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(4)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Where an address lands after PGAS decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Inside a core's scratchpad.
+    Spm {
+        /// Owning core.
+        core: u32,
+        /// Byte offset from that core's SPM base.
+        offset: u32,
+    },
+    /// Inside DRAM.
+    Dram {
+        /// Byte offset from the DRAM base.
+        offset: u64,
+    },
+}
+
+/// The PGAS layout: how many cores, how big each SPM is, and where the
+/// regions live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrMap {
+    cores: u32,
+    spm_size: u32,
+    spm_base: u64,
+    spm_stride: u64,
+    dram_base: u64,
+    dram_size: u64,
+}
+
+impl AddrMap {
+    /// Base address of core 0's scratchpad region.
+    pub const SPM_BASE: u64 = 0x1000_0000;
+    /// Address-space stride between consecutive cores' scratchpads.
+    pub const SPM_STRIDE: u64 = 0x0001_0000;
+    /// Base address of the DRAM region.
+    pub const DRAM_BASE: u64 = 0x8000_0000;
+    /// Default simulated DRAM capacity (words are allocated lazily).
+    pub const DRAM_SIZE: u64 = 1 << 31; // 2 GiB
+
+    /// A map for `cores` cores each owning `spm_size` bytes of SPM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spm_size` exceeds the per-core stride or is not a
+    /// multiple of 4.
+    pub fn new(cores: u32, spm_size: u32) -> Self {
+        assert!(
+            spm_size as u64 <= Self::SPM_STRIDE,
+            "SPM overflows its stride"
+        );
+        assert!(spm_size.is_multiple_of(4), "SPM size must be word-aligned");
+        AddrMap {
+            cores,
+            spm_size,
+            spm_base: Self::SPM_BASE,
+            spm_stride: Self::SPM_STRIDE,
+            dram_base: Self::DRAM_BASE,
+            dram_size: Self::DRAM_SIZE,
+        }
+    }
+
+    /// Number of cores in the map.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Bytes of scratchpad per core.
+    pub fn spm_size(&self) -> u32 {
+        self.spm_size
+    }
+
+    /// Bytes of DRAM.
+    pub fn dram_size(&self) -> u64 {
+        self.dram_size
+    }
+
+    /// Address of byte `offset` inside `core`'s scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `offset` is out of range.
+    pub fn spm_addr(&self, core: u32, offset: u32) -> Addr {
+        assert!(core < self.cores, "core {core} out of range");
+        assert!(
+            offset < self.spm_size,
+            "SPM offset {offset:#x} out of range"
+        );
+        Addr(self.spm_base + core as u64 * self.spm_stride + offset as u64)
+    }
+
+    /// Address of byte `offset` inside DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn dram_addr(&self, offset: u64) -> Addr {
+        assert!(
+            offset < self.dram_size,
+            "DRAM offset {offset:#x} out of range"
+        );
+        Addr(self.dram_base + offset)
+    }
+
+    /// Decode an address into its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on addresses outside every region (wild pointers are a
+    /// simulator bug, not a recoverable condition).
+    pub fn decode(&self, addr: Addr) -> Region {
+        let a = addr.0;
+        if a >= self.dram_base && a < self.dram_base + self.dram_size {
+            return Region::Dram {
+                offset: a - self.dram_base,
+            };
+        }
+        if a >= self.spm_base {
+            let rel = a - self.spm_base;
+            let core = (rel / self.spm_stride) as u32;
+            let offset = (rel % self.spm_stride) as u32;
+            if core < self.cores && offset < self.spm_size {
+                return Region::Spm { core, offset };
+            }
+        }
+        panic!("address {addr} decodes to no PGAS region");
+    }
+
+    /// Like [`AddrMap::decode`] but returns `None` instead of panicking.
+    pub fn try_decode(&self, addr: Addr) -> Option<Region> {
+        let a = addr.0;
+        if a >= self.dram_base && a < self.dram_base + self.dram_size {
+            return Some(Region::Dram {
+                offset: a - self.dram_base,
+            });
+        }
+        if a >= self.spm_base {
+            let rel = a - self.spm_base;
+            let core = (rel / self.spm_stride) as u32;
+            let offset = (rel % self.spm_stride) as u32;
+            if core < self.cores && offset < self.spm_size {
+                return Some(Region::Spm { core, offset });
+            }
+        }
+        None
+    }
+
+    /// `true` when `addr` lies in any scratchpad.
+    pub fn is_spm(&self, addr: Addr) -> bool {
+        matches!(self.try_decode(addr), Some(Region::Spm { .. }))
+    }
+
+    /// `true` when `addr` lies in DRAM.
+    pub fn is_dram(&self, addr: Addr) -> bool {
+        matches!(self.try_decode(addr), Some(Region::Dram { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spm_roundtrip() {
+        let m = AddrMap::new(128, 4096);
+        for core in [0u32, 1, 64, 127] {
+            for off in [0u32, 4, 4092] {
+                let a = m.spm_addr(core, off);
+                assert_eq!(m.decode(a), Region::Spm { core, offset: off });
+            }
+        }
+    }
+
+    #[test]
+    fn dram_roundtrip() {
+        let m = AddrMap::new(4, 4096);
+        let a = m.dram_addr(123 * 4);
+        assert_eq!(m.decode(a), Region::Dram { offset: 123 * 4 });
+    }
+
+    #[test]
+    fn regions_disjoint() {
+        let m = AddrMap::new(128, 4096);
+        let spm_top = m.spm_addr(127, 4092);
+        assert!(spm_top.raw() < AddrMap::DRAM_BASE);
+    }
+
+    #[test]
+    fn decode_rejects_spm_hole() {
+        // Offsets past spm_size within the stride are unmapped.
+        let m = AddrMap::new(2, 4096);
+        let hole = Addr(AddrMap::SPM_BASE + 4096);
+        assert_eq!(m.try_decode(hole), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no PGAS region")]
+    fn decode_panics_on_wild_pointer() {
+        let m = AddrMap::new(2, 4096);
+        m.decode(Addr(0x10));
+    }
+
+    #[test]
+    fn addr_arith() {
+        let a = Addr(0x100);
+        assert_eq!(a.offset(8), Addr(0x108));
+        assert_eq!(a.offset_words(2), Addr(0x108));
+        assert!(a.is_word_aligned());
+        assert!(!Addr(0x101).is_word_aligned());
+        assert_eq!(format!("{a}"), "0x00000100");
+    }
+}

@@ -1,0 +1,71 @@
+//! Atomic memory operations.
+//!
+//! HammerBlade cores implement the RISC-V "A" extension; the runtime
+//! uses `amoswap` for spin locks and `amoadd`/`amosub` with release
+//! semantics for reference-counter updates (paper Figure 4). AMOs
+//! execute at the memory endpoint (SPM controller or LLC bank), which
+//! is what makes them atomic without coherence.
+
+/// An atomic read-modify-write operation on a 32-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// `new = old + operand` (wrapping).
+    Add,
+    /// `new = old - operand` (wrapping); the paper's `amo_sub_lr`.
+    Sub,
+    /// `new = operand`; used for spin-lock acquire.
+    Swap,
+    /// `new = old & operand`.
+    And,
+    /// `new = old | operand`.
+    Or,
+    /// `new = old ^ operand`.
+    Xor,
+    /// `new = max(old, operand)` as signed words.
+    Max,
+    /// `new = min(old, operand)` as signed words.
+    Min,
+}
+
+impl AmoOp {
+    /// Apply the operation, returning the *new* value to store.
+    /// The AMO instruction itself returns the *old* value to the core.
+    pub fn apply(self, old: u32, operand: u32) -> u32 {
+        match self {
+            AmoOp::Add => old.wrapping_add(operand),
+            AmoOp::Sub => old.wrapping_sub(operand),
+            AmoOp::Swap => operand,
+            AmoOp::And => old & operand,
+            AmoOp::Or => old | operand,
+            AmoOp::Xor => old ^ operand,
+            AmoOp::Max => (old as i32).max(operand as i32) as u32,
+            AmoOp::Min => (old as i32).min(operand as i32) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(AmoOp::Add.apply(3, 4), 7);
+        assert_eq!(AmoOp::Sub.apply(3, 4), u32::MAX);
+        assert_eq!(AmoOp::Swap.apply(3, 4), 4);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(AmoOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AmoOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AmoOp::Xor.apply(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn signed_min_max() {
+        let neg1 = -1i32 as u32;
+        assert_eq!(AmoOp::Max.apply(neg1, 3), 3);
+        assert_eq!(AmoOp::Min.apply(neg1, 3), neg1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the memory endpoint models.
+
+use mosaic_mem::{AddrMap, AmoOp, DramConfig, DramModel, Llc, LlcConfig, Scratchpad};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The LLC is a performance structure only: any access sequence
+    /// leaves functional DRAM state equal to a plain shadow map.
+    #[test]
+    fn llc_never_corrupts_functional_state(
+        ops in prop::collection::vec((0u64..64, any::<u32>(), any::<bool>()), 1..100)
+    ) {
+        let mut llc = Llc::new(LlcConfig { banks: 2, sets: 2, ways: 2, line_bytes: 64, hit_latency: 4 });
+        let mut dram = DramModel::default();
+        let mut shadow: HashMap<u64, u32> = HashMap::new();
+        let mut t = 0;
+        for (slot, val, write) in ops {
+            let offset = slot * 4;
+            if write {
+                dram.poke(offset, val);
+                shadow.insert(offset, val);
+            }
+            t = llc.access(offset, t, write, &mut dram).done;
+        }
+        for (off, val) in shadow {
+            prop_assert_eq!(dram.peek(off), val);
+        }
+    }
+
+    /// LLC accesses complete after they start and hits are not slower
+    /// than misses at the same arrival time.
+    #[test]
+    fn llc_timing_sane(offsets in prop::collection::vec(0u64..4096, 1..50)) {
+        let mut llc = Llc::default();
+        let mut dram = DramModel::default();
+        let mut t = 0;
+        for o in offsets {
+            let o = o & !3;
+            let a = llc.access(o, t, false, &mut dram);
+            prop_assert!(a.done > t);
+            t = a.done;
+        }
+    }
+
+    /// DRAM completion times are strictly increasing along a dependent
+    /// chain and every access finishes.
+    #[test]
+    fn dram_monotone(offsets in prop::collection::vec(0u64..(1 << 20), 1..100)) {
+        let mut d = DramModel::new(DramConfig::default());
+        let mut t = 0;
+        for o in offsets {
+            let done = d.access(o & !63, t, false);
+            prop_assert!(done > t);
+            t = done;
+        }
+        let (r, w) = d.traffic();
+        prop_assert!(r > 0 && w == 0);
+    }
+
+    /// AMO algebra: applying the op matches the arithmetic definition.
+    #[test]
+    fn amo_matches_spec(old in any::<u32>(), operand in any::<u32>()) {
+        prop_assert_eq!(AmoOp::Add.apply(old, operand), old.wrapping_add(operand));
+        prop_assert_eq!(AmoOp::Sub.apply(old, operand), old.wrapping_sub(operand));
+        prop_assert_eq!(AmoOp::Swap.apply(old, operand), operand);
+        prop_assert_eq!(AmoOp::Or.apply(old, operand) & operand, operand);
+        prop_assert_eq!(AmoOp::And.apply(old, operand) | operand, operand | (old & operand));
+    }
+
+    /// Scratchpad is word-addressable memory with FIFO port service.
+    #[test]
+    fn spm_memory_semantics(writes in prop::collection::vec((0u32..256, any::<u32>()), 1..64)) {
+        let mut s = Scratchpad::new(1024);
+        let mut shadow = HashMap::new();
+        for (w, v) in &writes {
+            s.poke(w * 4, *v);
+            shadow.insert(*w, *v);
+        }
+        for (w, v) in shadow {
+            prop_assert_eq!(s.peek(w * 4), v);
+        }
+    }
+
+    /// Address map: every SPM byte and DRAM byte decodes uniquely (no
+    /// two encodings alias).
+    #[test]
+    fn addr_encodings_unique(c1 in 0u32..16, o1 in 0u32..1024, c2 in 0u32..16, o2 in 0u32..1024) {
+        let m = AddrMap::new(16, 4096);
+        let a1 = m.spm_addr(c1, o1 * 4);
+        let a2 = m.spm_addr(c2, o2 * 4);
+        prop_assert_eq!(a1 == a2, (c1, o1) == (c2, o2));
+    }
+}

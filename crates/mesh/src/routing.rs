@@ -1,0 +1,57 @@
+//! Route representation.
+//!
+//! Routes are precomputed by [`MeshConfig`](crate::MeshConfig); this
+//! module only defines the lightweight view type handed to callers.
+
+use crate::LinkId;
+
+/// A borrowed view of a precomputed route: the ordered unidirectional
+/// links a packet crosses from source to destination.
+#[derive(Debug, Clone, Copy)]
+pub struct Route<'a> {
+    links: &'a [LinkId],
+}
+
+impl<'a> Route<'a> {
+    pub(crate) fn new(links: &'a [LinkId]) -> Self {
+        Route { links }
+    }
+
+    /// The links of the route, in traversal order. Empty for a
+    /// zero-hop (`src == dst`) route.
+    pub fn links(&self) -> &'a [LinkId] {
+        self.links
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` when source equals destination.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::topology::{Coord, MeshConfig};
+
+    #[test]
+    fn empty_route_for_self() {
+        let cfg = MeshConfig::new(3, 3, 0);
+        let n = cfg.node_at(Coord { x: 1, y: 1 });
+        let r = cfg.route(n, n);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn reverse_route_has_same_length_without_ruche() {
+        let cfg = MeshConfig::new(5, 4, 0);
+        let a = cfg.node_at(Coord { x: 0, y: 1 });
+        let b = cfg.node_at(Coord { x: 4, y: 3 });
+        assert_eq!(cfg.route(a, b).len(), cfg.route(b, a).len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Network statistics: per-link utilization and core-to-core traffic
+//! summaries, used to regenerate the paper's Figure 5 latency heatmap.
+
+use crate::topology::MeshConfig;
+
+/// Snapshot of cumulative flits carried per unidirectional link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStats {
+    flits: Vec<u64>,
+}
+
+impl LinkStats {
+    pub(crate) fn new(flits: Vec<u64>) -> Self {
+        LinkStats { flits }
+    }
+
+    /// Flits carried by link `idx` since the last reset.
+    pub fn flits_on(&self, idx: usize) -> u64 {
+        self.flits[idx]
+    }
+
+    /// Total flits carried across all links.
+    pub fn total_flits(&self) -> u64 {
+        self.flits.iter().sum()
+    }
+
+    /// The most-loaded link and its flit count, if any traffic flowed.
+    pub fn hottest_link(&self) -> Option<(usize, u64)> {
+        self.flits
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, f)| f)
+            .filter(|&(_, f)| f > 0)
+    }
+}
+
+/// A dense core-by-core matrix of observed average latencies (or any
+/// other per-ordered-pair scalar), used for heatmap outputs.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    cores: usize,
+    sum: Vec<f64>,
+    count: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// An empty matrix over `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        TrafficMatrix {
+            cores,
+            sum: vec![0.0; cores * cores],
+            count: vec![0; cores * cores],
+        }
+    }
+
+    /// Record one sample (e.g. one load's round-trip latency) from
+    /// `src` to `dst`.
+    pub fn record(&mut self, src: usize, dst: usize, value: f64) {
+        let i = src * self.cores + dst;
+        self.sum[i] += value;
+        self.count[i] += 1;
+    }
+
+    /// Mean recorded value from `src` to `dst`, or `None` if no samples.
+    pub fn mean(&self, src: usize, dst: usize) -> Option<f64> {
+        let i = src * self.cores + dst;
+        (self.count[i] > 0).then(|| self.sum[i] / self.count[i] as f64)
+    }
+
+    /// Per-source mean toward a single destination, normalized so the
+    /// maximum is 1.0 — the exact quantity plotted in the paper's
+    /// Figure 5 (each core's remote-SPM load latency toward core 0,
+    /// normalized to the slowest core).
+    pub fn normalized_column(&self, dst: usize) -> Vec<f64> {
+        let means: Vec<f64> = (0..self.cores)
+            .map(|src| self.mean(src, dst).unwrap_or(0.0))
+            .collect();
+        let max = means.iter().cloned().fold(0.0_f64, f64::max);
+        if max == 0.0 {
+            return means;
+        }
+        means.iter().map(|m| m / max).collect()
+    }
+
+    /// Render `values` (one per core) as a `core_rows x cols` text grid
+    /// matching the paper's heatmap orientation.
+    pub fn render_grid(values: &[f64], cfg: &MeshConfig) -> String {
+        let mut out = String::new();
+        for y in 0..cfg.core_rows() as usize {
+            for x in 0..cfg.cols() as usize {
+                let v = values[y * cfg.cols() as usize + x];
+                out.push_str(&format!("{v:4.1} "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_no_means() {
+        let m = TrafficMatrix::new(4);
+        assert_eq!(m.mean(0, 1), None);
+    }
+
+    #[test]
+    fn mean_accumulates() {
+        let mut m = TrafficMatrix::new(4);
+        m.record(1, 0, 10.0);
+        m.record(1, 0, 20.0);
+        assert_eq!(m.mean(1, 0), Some(15.0));
+    }
+
+    #[test]
+    fn normalized_column_peaks_at_one() {
+        let mut m = TrafficMatrix::new(3);
+        m.record(0, 0, 1.0);
+        m.record(1, 0, 2.0);
+        m.record(2, 0, 4.0);
+        let col = m.normalized_column(0);
+        assert_eq!(col, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn hottest_link_none_when_idle() {
+        let s = LinkStats::new(vec![0, 0, 0]);
+        assert_eq!(s.hottest_link(), None);
+        let s = LinkStats::new(vec![0, 7, 3]);
+        assert_eq!(s.hottest_link(), Some((1, 7)));
+        assert_eq!(s.total_flits(), 10);
+    }
+
+    #[test]
+    fn render_grid_shape() {
+        let cfg = MeshConfig::new(4, 2, 0);
+        let vals = vec![0.5; 8];
+        let grid = TrafficMatrix::render_grid(&vals, &cfg);
+        assert_eq!(grid.lines().count(), 2);
+        assert_eq!(grid.lines().next().unwrap().split_whitespace().count(), 4);
+    }
+}

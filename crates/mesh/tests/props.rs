@@ -1,0 +1,71 @@
+//! Property tests for the network model.
+
+use mosaic_mesh::{Mesh, MeshConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arrival time is monotone in injection time.
+    #[test]
+    fn traversal_time_is_monotone(cols in 2u16..10, rows in 2u16..6,
+                                  a in any::<usize>(), b in any::<usize>(),
+                                  t1 in 0u64..1000, dt in 0u64..1000) {
+        let cfg = MeshConfig::new(cols, rows, 0);
+        let n = cfg.core_count();
+        let (src, dst) = (cfg.core_node(a % n), cfg.core_node(b % n));
+        let m1 = Mesh::new(cfg.clone()).traverse(src, dst, t1, 1);
+        let m2 = Mesh::new(cfg).traverse(src, dst, t1 + dt, 1);
+        prop_assert!(m2 >= m1);
+        prop_assert!(m2 - m1 == dt || src == dst);
+    }
+
+    /// Ruche express links never make a route longer.
+    #[test]
+    fn ruche_never_hurts(cols in 4u16..16, rows in 1u16..4,
+                         ruche in 2u16..5, a in any::<usize>(), b in any::<usize>()) {
+        let plain = MeshConfig::new(cols, rows, 0);
+        let ruched = MeshConfig::new(cols, rows, ruche);
+        let n = plain.core_count();
+        let (ai, bi) = (a % n, b % n);
+        let hp = plain.route(plain.core_node(ai), plain.core_node(bi)).len();
+        let hr = ruched.route(ruched.core_node(ai), ruched.core_node(bi)).len();
+        prop_assert!(hr <= hp, "ruche route {hr} longer than plain {hp}");
+    }
+
+    /// Flit accounting: total flits equals sum over traversals of
+    /// (hops x flits).
+    #[test]
+    fn flit_accounting(pairs in prop::collection::vec((any::<usize>(), any::<usize>(), 1u32..4), 1..20)) {
+        let cfg = MeshConfig::new(6, 4, 0);
+        let n = cfg.core_count();
+        let mut mesh = Mesh::new(cfg.clone());
+        let mut expect = 0u64;
+        let mut t = 0;
+        for (a, b, f) in pairs {
+            let (src, dst) = (cfg.core_node(a % n), cfg.core_node(b % n));
+            let hops = cfg.route(src, dst).len() as u64;
+            expect += hops * f as u64;
+            t = mesh.traverse(src, dst, t, f);
+        }
+        prop_assert_eq!(mesh.link_stats().total_flits(), expect);
+    }
+
+    /// Every core node decodes back to a core, and LLC nodes to banks,
+    /// with no overlap.
+    #[test]
+    fn node_kinds_partition(cols in 1u16..12, rows in 1u16..8) {
+        let cfg = MeshConfig::new(cols, rows, 0);
+        let mut cores = 0;
+        let mut banks = 0;
+        for y in 0..rows + 2 {
+            for x in 0..cols {
+                let node = cfg.node_at(mosaic_mesh::Coord { x, y });
+                match cfg.node_kind(node) {
+                    mosaic_mesh::NodeKind::Core(_) => cores += 1,
+                    mosaic_mesh::NodeKind::LlcBank(_) => banks += 1,
+                }
+            }
+        }
+        prop_assert_eq!(cores, cfg.core_count());
+        prop_assert_eq!(banks, cfg.llc_count());
+    }
+}

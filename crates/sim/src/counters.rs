@@ -1,0 +1,98 @@
+//! Performance counters.
+//!
+//! The paper instruments the RTL with non-synthesizable bind
+//! statements; we keep per-core architectural counters in the engine,
+//! zero-overhead to the modeled program. Dynamic instruction counts
+//! ("DI" in Table 1) follow the paper's convention: every executed
+//! instruction counts, including runtime-internal ones (lock spins,
+//! queue manipulation, failed steal attempts).
+
+use crate::{CoreId, Cycle};
+
+/// Architectural counters for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Dynamic instructions executed (compute + memory + runtime).
+    pub instructions: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Atomic memory operations issued.
+    pub amos: u64,
+    /// Fences executed.
+    pub fences: u64,
+    /// Cycles stalled waiting on loads/AMOs/fences/full store queues.
+    pub mem_stall_cycles: u64,
+    /// Cycle at which this core halted.
+    pub halt_cycle: Cycle,
+}
+
+impl CoreCounters {
+    /// Total memory operations issued.
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores + self.amos
+    }
+}
+
+/// Machine-wide counter aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct MachineCounters {
+    per_core: Vec<CoreCounters>,
+}
+
+impl MachineCounters {
+    /// Counters for `cores` cores, all zero.
+    pub fn new(cores: usize) -> Self {
+        MachineCounters {
+            per_core: vec![CoreCounters::default(); cores],
+        }
+    }
+
+    /// Counters of a single core.
+    pub fn core(&self, core: CoreId) -> &CoreCounters {
+        &self.per_core[core]
+    }
+
+    /// Mutable counters of a single core (engine use).
+    pub fn core_mut(&mut self, core: CoreId) -> &mut CoreCounters {
+        &mut self.per_core[core]
+    }
+
+    /// Iterate all per-core counters.
+    pub fn iter(&self) -> impl Iterator<Item = &CoreCounters> {
+        self.per_core.iter()
+    }
+
+    /// Total dynamic instructions across the machine.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Total memory operations across the machine.
+    pub fn total_mem_ops(&self) -> u64 {
+        self.per_core.iter().map(|c| c.mem_ops()).sum()
+    }
+
+    /// Total memory-stall cycles across the machine.
+    pub fn total_mem_stall(&self) -> u64 {
+        self.per_core.iter().map(|c| c.mem_stall_cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut m = MachineCounters::new(2);
+        m.core_mut(0).instructions = 10;
+        m.core_mut(0).loads = 3;
+        m.core_mut(1).instructions = 5;
+        m.core_mut(1).stores = 2;
+        assert_eq!(m.total_instructions(), 15);
+        assert_eq!(m.total_mem_ops(), 5);
+        assert_eq!(m.core(0).mem_ops(), 3);
+    }
+}

@@ -1,0 +1,666 @@
+//! The discrete-event engine.
+//!
+//! Each simulated core runs its behaviour closure on a dedicated OS
+//! thread, written in ordinary *blocking* style against [`CoreApi`].
+//! The engine owns the [`Machine`] and wakes exactly one core thread
+//! at a time in global cycle order, so simulation is sequential and
+//! bit-deterministic. See the crate docs for the protocol.
+//!
+//! ## Timing semantics
+//!
+//! - [`CoreApi::charge`] accumulates local compute (instructions and
+//!   cycles) without a context switch; the accumulated delay is applied
+//!   before the next synchronizing operation, and the engine defers
+//!   *issuing* that operation until the right global cycle so resource
+//!   reservations stay in cycle order (approximately FCFS arbitration).
+//! - Loads and AMOs block the core until the response returns.
+//! - Stores are non-blocking: the core moves on after one issue cycle,
+//!   up to `store_queue_depth` outstanding; a full queue stalls, and
+//!   [`CoreApi::fence`] drains it (release semantics are built from
+//!   `fence` + AMO, as on HammerBlade).
+
+use crate::counters::MachineCounters;
+use crate::{Addr, CoreId, Cycle, Machine};
+use mosaic_mem::AmoOp;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread;
+
+/// What a core thread asks the engine to do. Every request carries the
+/// compute accumulated since the previous synchronization.
+#[derive(Debug)]
+enum Request {
+    /// Just advance local time (flush accumulated compute).
+    Advance { delay: Cycle, instrs: u64 },
+    /// Blocking word load.
+    Load {
+        delay: Cycle,
+        instrs: u64,
+        addr: Addr,
+    },
+    /// Non-blocking word store.
+    Store {
+        delay: Cycle,
+        instrs: u64,
+        addr: Addr,
+        value: u32,
+    },
+    /// Blocking atomic read-modify-write.
+    Amo {
+        delay: Cycle,
+        instrs: u64,
+        addr: Addr,
+        op: AmoOp,
+        operand: u32,
+    },
+    /// Drain the store queue.
+    Fence { delay: Cycle, instrs: u64 },
+    /// Behaviour closure finished.
+    Halt { delay: Cycle, instrs: u64 },
+    /// Behaviour closure panicked; payload is the panic message.
+    Panicked(String),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Reply {
+    value: u32,
+    now: Cycle,
+}
+
+/// Per-core engine-side state between events.
+enum Pending {
+    /// Wake the core and deliver `value` (load/AMO result or 0).
+    Wake(u32),
+    /// Issue the deferred memory request at the event's cycle.
+    Issue(Request),
+}
+
+/// The result of a completed simulation.
+#[derive(Debug)]
+pub struct Report {
+    /// The machine, with all functional memory state, for result
+    /// inspection via [`Machine::peek`].
+    pub machine: Machine,
+    /// Total simulated cycles (cycle of the last core to halt).
+    pub cycles: Cycle,
+    /// Per-core architectural counters.
+    pub counters: MachineCounters,
+}
+
+impl Report {
+    /// Total dynamic instructions executed machine-wide.
+    pub fn instructions(&self) -> u64 {
+        self.counters.total_instructions()
+    }
+}
+
+/// Handle through which a core-behaviour closure interacts with the
+/// simulated machine. One per core thread; not clonable.
+pub struct CoreApi {
+    core: CoreId,
+    req_tx: Sender<Request>,
+    reply_rx: Receiver<Reply>,
+    now: Cycle,
+    pending_delay: Cycle,
+    pending_instrs: u64,
+}
+
+impl CoreApi {
+    /// This core's id.
+    pub fn core_id(&self) -> CoreId {
+        self.core
+    }
+
+    /// Current local cycle (last synchronized cycle plus accumulated
+    /// compute).
+    pub fn now(&self) -> Cycle {
+        self.now + self.pending_delay
+    }
+
+    /// Charge `instrs` dynamic instructions taking `cycles` cycles of
+    /// local compute. Accumulated locally; no context switch.
+    pub fn charge(&mut self, instrs: u64, cycles: Cycle) {
+        self.pending_instrs += instrs;
+        self.pending_delay += cycles;
+    }
+
+    /// Blocking load of the word at `addr`.
+    pub fn load(&mut self, addr: Addr) -> u32 {
+        let req = Request::Load {
+            delay: self.take_delay(),
+            instrs: self.take_instrs() + 1,
+            addr,
+        };
+        self.roundtrip(req)
+    }
+
+    /// Non-blocking store of `value` to `addr` (bounded store queue).
+    pub fn store(&mut self, addr: Addr, value: u32) {
+        let req = Request::Store {
+            delay: self.take_delay(),
+            instrs: self.take_instrs() + 1,
+            addr,
+            value,
+        };
+        self.roundtrip(req);
+    }
+
+    /// Blocking atomic `op` on `addr`; returns the *old* value.
+    pub fn amo(&mut self, addr: Addr, op: AmoOp, operand: u32) -> u32 {
+        let req = Request::Amo {
+            delay: self.take_delay(),
+            instrs: self.take_instrs() + 1,
+            addr,
+            op,
+            operand,
+        };
+        self.roundtrip(req)
+    }
+
+    /// Atomic `op` with release semantics: drains the store queue
+    /// first so prior writes are globally visible (paper §3.2:
+    /// `amo_sub_lr`).
+    pub fn amo_release(&mut self, addr: Addr, op: AmoOp, operand: u32) -> u32 {
+        self.fence();
+        self.amo(addr, op, operand)
+    }
+
+    /// Wait until all outstanding stores are globally visible.
+    pub fn fence(&mut self) {
+        let req = Request::Fence {
+            delay: self.take_delay(),
+            instrs: self.take_instrs() + 1,
+        };
+        self.roundtrip(req);
+    }
+
+    /// Flush accumulated compute so other cores observe simulated time
+    /// advancing (useful inside spin-wait backoff).
+    pub fn sync(&mut self) {
+        let req = Request::Advance {
+            delay: self.take_delay(),
+            instrs: self.take_instrs(),
+        };
+        self.roundtrip(req);
+    }
+
+    fn take_delay(&mut self) -> Cycle {
+        std::mem::take(&mut self.pending_delay)
+    }
+
+    fn take_instrs(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_instrs)
+    }
+
+    fn roundtrip(&mut self, req: Request) -> u32 {
+        self.req_tx.send(req).expect("engine vanished");
+        let reply = self.reply_rx.recv().expect("engine vanished");
+        self.now = reply.now;
+        reply.value
+    }
+}
+
+/// The deterministic discrete-event engine. Construct-and-run via
+/// [`Engine::run`].
+pub struct Engine;
+
+impl Engine {
+    /// Run one behaviour per core to completion and return the final
+    /// [`Report`].
+    ///
+    /// `behaviors(core)` is called once per core to produce that core's
+    /// closure. The closure runs on a dedicated thread and may block on
+    /// [`CoreApi`] operations; it must not block on anything else
+    /// shared with other core threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after shutting down worker threads) if any core's
+    /// behaviour panics.
+    pub fn run<F>(machine: Machine, mut behaviors: F) -> Report
+    where
+        F: FnMut(CoreId) -> Box<dyn FnOnce(&mut CoreApi) + Send>,
+    {
+        let cores = machine.core_count();
+        let mut req_rxs = Vec::with_capacity(cores);
+        let mut reply_txs = Vec::with_capacity(cores);
+        let mut handles = Vec::with_capacity(cores);
+
+        for core in 0..cores {
+            let (req_tx, req_rx) = channel::<Request>();
+            let (reply_tx, reply_rx) = channel::<Reply>();
+            req_rxs.push(req_rx);
+            reply_txs.push(reply_tx);
+            let behavior = behaviors(core);
+            let handle = thread::Builder::new()
+                .name(format!("mosaic-core-{core}"))
+                .stack_size(32 << 20)
+                .spawn(move || {
+                    let mut api = CoreApi {
+                        core,
+                        req_tx,
+                        reply_rx,
+                        now: 0,
+                        pending_delay: 0,
+                        pending_instrs: 0,
+                    };
+                    // Wait for the engine's start signal.
+                    let start = match api.reply_rx.recv() {
+                        Ok(s) => s,
+                        Err(_) => return, // engine aborted before start
+                    };
+                    api.now = start.now;
+                    let result = catch_unwind(AssertUnwindSafe(|| behavior(&mut api)));
+                    let final_req = match result {
+                        Ok(()) => Request::Halt {
+                            delay: api.take_delay(),
+                            instrs: api.take_instrs(),
+                        },
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic>".into());
+                            Request::Panicked(msg)
+                        }
+                    };
+                    let _ = api.req_tx.send(final_req);
+                })
+                .expect("failed to spawn core thread");
+            handles.push(handle);
+        }
+
+        let result = Self::event_loop(machine, cores, &req_rxs, &reply_txs);
+
+        // Drop reply senders so any still-blocked threads unblock, then
+        // join everything before surfacing errors.
+        drop(reply_txs);
+        for h in handles {
+            let _ = h.join();
+        }
+
+        match result {
+            Ok(report) => report,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    fn event_loop(
+        mut machine: Machine,
+        cores: usize,
+        req_rxs: &[Receiver<Request>],
+        reply_txs: &[Sender<Reply>],
+    ) -> Result<Report, String> {
+        let mut counters = MachineCounters::new(cores);
+        let mut heap: BinaryHeap<Reverse<(Cycle, u64, CoreId)>> = BinaryHeap::new();
+        let mut pending: Vec<Option<Pending>> = Vec::with_capacity(cores);
+        let mut store_queues: Vec<Vec<Cycle>> = vec![Vec::new(); cores];
+        let depth = machine.config().store_queue_depth;
+        let mut seq = 0u64;
+        let mut live = cores;
+        let mut last_halt = 0;
+        let max_cycles = machine.config().max_cycles;
+
+        for core in 0..cores {
+            pending.push(Some(Pending::Wake(0)));
+            heap.push(Reverse((0, seq, core)));
+            seq += 1;
+        }
+
+        while let Some(Reverse((cycle, _, core))) = heap.pop() {
+            if max_cycles > 0 && cycle > max_cycles {
+                return Err(format!(
+                    "watchdog: simulation passed {max_cycles} cycles with {live} cores live                      (likely a modeled-program livelock)"
+                ));
+            }
+            let slot = pending[core]
+                .take()
+                .expect("core event without pending state");
+            match slot {
+                Pending::Wake(value) => {
+                    // Wake the core thread and collect its next request.
+                    if reply_txs[core].send(Reply { value, now: cycle }).is_err() {
+                        return Err(format!("core {core} thread died unexpectedly"));
+                    }
+                    let req = req_rxs[core]
+                        .recv()
+                        .map_err(|_| format!("core {core} thread died unexpectedly"))?;
+                    Self::handle_request(
+                        core,
+                        cycle,
+                        req,
+                        &mut machine,
+                        &mut counters,
+                        &mut store_queues,
+                        depth,
+                        &mut heap,
+                        &mut pending,
+                        &mut seq,
+                        &mut live,
+                        &mut last_halt,
+                    )?;
+                }
+                Pending::Issue(req) => {
+                    // Deferred memory op: issue at exactly this cycle.
+                    Self::issue_mem(
+                        core,
+                        cycle,
+                        req,
+                        &mut machine,
+                        &mut counters,
+                        &mut store_queues,
+                        depth,
+                        &mut heap,
+                        &mut pending,
+                        &mut seq,
+                    );
+                }
+            }
+            if live == 0 {
+                break;
+            }
+        }
+
+        if live > 0 {
+            return Err(format!("simulation deadlocked with {live} cores live"));
+        }
+
+        Ok(Report {
+            cycles: last_halt,
+            machine,
+            counters,
+        })
+    }
+
+    /// Handle a fresh request from a just-woken core at `cycle`.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_request(
+        core: CoreId,
+        cycle: Cycle,
+        req: Request,
+        machine: &mut Machine,
+        counters: &mut MachineCounters,
+        store_queues: &mut [Vec<Cycle>],
+        depth: usize,
+        heap: &mut BinaryHeap<Reverse<(Cycle, u64, CoreId)>>,
+        pending: &mut [Option<Pending>],
+        seq: &mut u64,
+        live: &mut usize,
+        last_halt: &mut Cycle,
+    ) -> Result<(), String> {
+        let (delay, instrs) = match &req {
+            Request::Advance { delay, instrs }
+            | Request::Load { delay, instrs, .. }
+            | Request::Store { delay, instrs, .. }
+            | Request::Amo { delay, instrs, .. }
+            | Request::Fence { delay, instrs }
+            | Request::Halt { delay, instrs } => (*delay, *instrs),
+            Request::Panicked(msg) => {
+                return Err(format!("core {core} panicked: {msg}"));
+            }
+        };
+        counters.core_mut(core).instructions += instrs;
+        let issue = cycle + delay;
+
+        match req {
+            Request::Advance { .. } => {
+                pending[core] = Some(Pending::Wake(0));
+                heap.push(Reverse((issue, *seq, core)));
+                *seq += 1;
+            }
+            Request::Fence { .. } => {
+                counters.core_mut(core).fences += 1;
+                let drain = store_queues[core].drain(..).max().unwrap_or(0).max(issue);
+                counters.core_mut(core).mem_stall_cycles += drain - issue;
+                pending[core] = Some(Pending::Wake(0));
+                heap.push(Reverse((drain, *seq, core)));
+                *seq += 1;
+            }
+            Request::Halt { .. } => {
+                counters.core_mut(core).halt_cycle = issue;
+                *live -= 1;
+                *last_halt = (*last_halt).max(issue);
+            }
+            mem_req @ (Request::Load { .. } | Request::Store { .. } | Request::Amo { .. }) => {
+                if issue > cycle {
+                    // Defer so reservations happen in cycle order.
+                    pending[core] = Some(Pending::Issue(mem_req));
+                    heap.push(Reverse((issue, *seq, core)));
+                    *seq += 1;
+                } else {
+                    Self::issue_mem(
+                        core,
+                        cycle,
+                        mem_req,
+                        machine,
+                        counters,
+                        store_queues,
+                        depth,
+                        heap,
+                        pending,
+                        seq,
+                    );
+                }
+            }
+            Request::Panicked(_) => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    /// Issue a memory request at exactly `cycle` and schedule the wake.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_mem(
+        core: CoreId,
+        cycle: Cycle,
+        req: Request,
+        machine: &mut Machine,
+        counters: &mut MachineCounters,
+        store_queues: &mut [Vec<Cycle>],
+        depth: usize,
+        heap: &mut BinaryHeap<Reverse<(Cycle, u64, CoreId)>>,
+        pending: &mut [Option<Pending>],
+        seq: &mut u64,
+    ) {
+        let (wake_at, value) = match req {
+            Request::Load { addr, .. } => {
+                counters.core_mut(core).loads += 1;
+                let (v, done) = machine.read(core, addr, cycle);
+                counters.core_mut(core).mem_stall_cycles += done - cycle;
+                (done, v)
+            }
+            Request::Amo {
+                addr, op, operand, ..
+            } => {
+                counters.core_mut(core).amos += 1;
+                let (v, done) = machine.amo(core, addr, op, operand, cycle);
+                counters.core_mut(core).mem_stall_cycles += done - cycle;
+                (done, v)
+            }
+            Request::Store { addr, value, .. } => {
+                counters.core_mut(core).stores += 1;
+                let q = &mut store_queues[core];
+                q.retain(|&c| c > cycle);
+                let mut start = cycle;
+                if q.len() >= depth {
+                    // Stall until the oldest outstanding store retires.
+                    let oldest = *q.iter().min().expect("queue nonempty");
+                    start = start.max(oldest);
+                    q.retain(|&c| c > start);
+                    counters.core_mut(core).mem_stall_cycles += start - cycle;
+                }
+                let done = machine.write(core, addr, value, start);
+                q.push(done);
+                (start + 1, 0)
+            }
+            _ => unreachable!("issue_mem only handles memory requests"),
+        };
+        pending[core] = Some(Pending::Wake(value));
+        heap.push(Reverse((wake_at, *seq, core)));
+        *seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+
+    fn run_two_core<F>(f: F) -> Report
+    where
+        F: Fn(CoreId, &mut CoreApi) + Send + Sync + 'static,
+    {
+        let machine = Machine::new(MachineConfig::small(2, 1));
+        let f = std::sync::Arc::new(f);
+        Engine::run(machine, move |core| {
+            let f = f.clone();
+            Box::new(move |api| f(core, api))
+        })
+    }
+
+    #[test]
+    fn compute_only_run_reports_cycles() {
+        let r = run_two_core(|core, api| {
+            api.charge(100, if core == 0 { 100 } else { 50 });
+        });
+        assert_eq!(r.cycles, 100);
+        assert_eq!(r.counters.core(0).instructions, 100);
+        assert_eq!(r.counters.core(1).instructions, 100);
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_through_memory() {
+        let mut machine = Machine::new(MachineConfig::small(2, 1));
+        let a = machine.dram_alloc_words(1);
+        let r = Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                if core == 0 {
+                    api.store(a, 7);
+                    api.fence();
+                }
+            })
+        });
+        assert_eq!(r.machine.peek(a), 7);
+        assert!(r.counters.core(0).stores == 1);
+        assert!(r.counters.core(0).fences == 1);
+    }
+
+    #[test]
+    fn loads_block_and_stall_counts_accrue() {
+        let mut machine = Machine::new(MachineConfig::small(2, 1));
+        let a = machine.dram_alloc_words(1);
+        let r = Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                if core == 1 {
+                    let v = api.load(a); // cold DRAM access
+                    assert_eq!(v, 0);
+                }
+            })
+        });
+        assert!(r.counters.core(1).mem_stall_cycles > 10);
+        assert!(r.cycles > 10);
+    }
+
+    #[test]
+    fn amo_serializes_between_cores() {
+        let mut machine = Machine::new(MachineConfig::small(2, 1));
+        let a = machine.dram_alloc_words(1);
+        let r = Engine::run(machine, move |_core| {
+            Box::new(move |api| {
+                for _ in 0..100 {
+                    api.amo(a, AmoOp::Add, 1);
+                }
+            })
+        });
+        assert_eq!(r.machine.peek(a), 200);
+    }
+
+    #[test]
+    fn spin_wait_handshake_between_cores() {
+        let mut machine = Machine::new(MachineConfig::small(2, 1));
+        let flag = machine.dram_alloc_words(1);
+        let data = machine.dram_alloc_words(1);
+        let r = Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                if core == 0 {
+                    api.store(data, 99);
+                    api.amo_release(flag, AmoOp::Swap, 1);
+                } else {
+                    while api.load(flag) == 0 {
+                        api.charge(1, 8);
+                    }
+                    let v = api.load(data);
+                    assert_eq!(v, 99, "release ordering must make data visible");
+                }
+            })
+        });
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn store_queue_full_stalls() {
+        let mut machine = Machine::new(MachineConfig::small(2, 1));
+        let a = machine.dram_alloc_words(64);
+        let r = Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                if core == 0 {
+                    // Many back-to-back DRAM stores must hit the queue cap.
+                    for i in 0..32u64 {
+                        api.store(a.offset_words(i), i as u32);
+                    }
+                    api.fence();
+                }
+            })
+        });
+        assert!(r.counters.core(0).mem_stall_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core 1 panicked: boom")]
+    fn core_panic_is_reported() {
+        run_two_core(|core, _api| {
+            if core == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn watchdog_catches_livelock() {
+        let mut config = MachineConfig::small(2, 1);
+        config.max_cycles = 5_000;
+        let mut machine = Machine::new(config);
+        let flag = machine.dram_alloc_words(1);
+        Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                if core == 0 {
+                    // Wait for a flag nobody ever sets.
+                    while api.load(flag) == 0 {
+                        api.charge(1, 8);
+                    }
+                }
+            })
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut machine = Machine::new(MachineConfig::small(4, 2));
+            let a = machine.dram_alloc_words(8);
+            Engine::run(machine, move |core| {
+                Box::new(move |api| {
+                    for i in 0..20u64 {
+                        api.amo(a.offset_words(i % 8), AmoOp::Add, core as u32);
+                        api.charge(3, 3);
+                    }
+                })
+            })
+            .cycles
+        };
+        assert_eq!(run(), run());
+    }
+}

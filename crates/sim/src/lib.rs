@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+//! # mosaic-sim
+//!
+//! The Mosaic machine model and discrete-event engine.
+//!
+//! This crate composes the network substrate (`mosaic-mesh`) and the
+//! memory endpoints (`mosaic-mem`) into a full manycore [`Machine`],
+//! and runs *per-core behaviours* — ordinary blocking Rust closures —
+//! under a deterministic discrete-event [`Engine`].
+//!
+//! ## Execution model
+//!
+//! Every simulated core gets a dedicated OS thread running its
+//! behaviour closure. The engine owns **all** shared machine state and
+//! wakes exactly one core thread at a time, in global cycle order, so
+//! the simulation is sequential, data-race-free, and bit-deterministic
+//! even though core code is written in a natural blocking style:
+//!
+//! ```text
+//! core thread:   let v = api.load(addr);      // blocks
+//! engine:        route request through mesh/LLC/DRAM models,
+//!                compute completion cycle, wake core at that cycle
+//! ```
+//!
+//! Blocking loads, a small non-blocking store queue with `fence`, and
+//! endpoint-executed AMOs match the HammerBlade core's memory
+//! interface (paper §2.1: relaxed consistency, explicit fences).
+//!
+//! ## Example
+//!
+//! ```
+//! use mosaic_sim::{Engine, Machine, MachineConfig};
+//!
+//! let config = MachineConfig::small(4, 2); // 8 cores for a quick demo
+//! let mut machine = Machine::new(config);
+//! let flag = machine.dram_alloc_words(1);
+//!
+//! let report = Engine::run(machine, |core| {
+//!     Box::new(move |api| {
+//!         if core == 0 {
+//!             api.store(flag, 42);
+//!             api.fence();
+//!         }
+//!         api.charge(10, 10); // every core does a little work
+//!     })
+//! });
+//! assert_eq!(report.machine.peek(flag), 42);
+//! assert!(report.cycles > 0);
+//! ```
+
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod machine;
+
+pub use config::MachineConfig;
+pub use counters::{CoreCounters, MachineCounters};
+pub use engine::{CoreApi, Engine, Report};
+pub use machine::Machine;
+
+pub use mosaic_mem::{Addr, AmoOp, Region};
+
+/// One cycle of the (notionally 1.5 GHz) core clock.
+pub type Cycle = u64;
+
+/// Dense core identifier, `0..core_count`.
+pub type CoreId = usize;

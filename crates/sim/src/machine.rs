@@ -1,0 +1,395 @@
+//! The composed machine: cores' memory view = mesh + SPMs + LLC + DRAM.
+//!
+//! [`Machine`] owns all functional and timing state of the modeled
+//! chip and provides the two interfaces the engine needs:
+//!
+//! - **timed accesses** ([`Machine::read`], [`Machine::write`],
+//!   [`Machine::amo`]): decode the PGAS address, traverse the mesh,
+//!   get serviced at the endpoint (SPM port or LLC bank → DRAM), and
+//!   traverse back, returning the completion cycle;
+//! - **functional accesses** ([`Machine::peek`], [`Machine::poke`]):
+//!   zero-time reads/writes for pre-run input loading and post-run
+//!   result checking.
+//!
+//! It also provides a bump allocator over DRAM and over each SPM so
+//! layers above can place data without tracking raw offsets.
+
+use crate::{CoreId, Cycle, MachineConfig};
+use mosaic_mem::{Addr, AddrMap, AmoOp, DramModel, Llc, Region, Scratchpad};
+use mosaic_mesh::{Mesh, NodeId, TrafficMatrix};
+
+/// Kinds of timed memory access, for counter attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    Read,
+    Write,
+    Amo,
+}
+
+/// The full machine model. See the module docs.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    map: AddrMap,
+    mesh: Mesh,
+    spms: Vec<Scratchpad>,
+    llc: Llc,
+    dram: DramModel,
+    /// Mesh node of each core, cached.
+    core_nodes: Vec<NodeId>,
+    /// Mesh node of each LLC bank, cached.
+    llc_nodes: Vec<NodeId>,
+    /// Bump pointer for DRAM heap allocation (bytes from DRAM base).
+    dram_brk: u64,
+    /// Optional latency sampling matrix for heatmap experiments.
+    latency_probe: Option<TrafficMatrix>,
+}
+
+impl Machine {
+    /// Instantiate a cold machine.
+    pub fn new(config: MachineConfig) -> Self {
+        let mesh_cfg = config.mesh_config();
+        let cores = config.core_count();
+        let map = AddrMap::new(cores as u32, config.spm_size);
+        let core_nodes = (0..cores).map(|c| mesh_cfg.core_node(c)).collect();
+        let llc_nodes = (0..mesh_cfg.llc_count())
+            .map(|b| mesh_cfg.llc_node(b))
+            .collect();
+        let spms = (0..cores)
+            .map(|_| Scratchpad::new(config.spm_size))
+            .collect();
+        let llc = Llc::new(config.llc.clone());
+        let dram = DramModel::new(config.dram.clone());
+        Machine {
+            map,
+            mesh: Mesh::new(mesh_cfg),
+            spms,
+            llc,
+            dram,
+            core_nodes,
+            llc_nodes,
+            dram_brk: 0,
+            latency_probe: None,
+            config,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The PGAS address map.
+    pub fn addr_map(&self) -> &AddrMap {
+        &self.map
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.spms.len()
+    }
+
+    /// The network model (e.g. for link statistics).
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// LLC statistics: (hits, misses, writebacks).
+    pub fn llc_stats(&self) -> (u64, u64, u64) {
+        self.llc.stats()
+    }
+
+    /// DRAM statistics: (reads, writes).
+    pub fn dram_traffic(&self) -> (u64, u64) {
+        self.dram.traffic()
+    }
+
+    /// Enable per-(src,dst-core) remote-SPM latency sampling (used to
+    /// regenerate the paper's Figure 5 heatmap).
+    pub fn enable_latency_probe(&mut self) {
+        self.latency_probe = Some(TrafficMatrix::new(self.core_count()));
+    }
+
+    /// The latency samples recorded so far, if probing was enabled.
+    pub fn latency_probe(&self) -> Option<&TrafficMatrix> {
+        self.latency_probe.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocate `bytes` of DRAM (16-byte aligned), returning its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if DRAM is exhausted.
+    pub fn dram_alloc(&mut self, bytes: u64) -> Addr {
+        let aligned = (self.dram_brk + 15) & !15;
+        assert!(
+            aligned + bytes <= self.map.dram_size(),
+            "simulated DRAM exhausted"
+        );
+        self.dram_brk = aligned + bytes;
+        self.map.dram_addr(aligned)
+    }
+
+    /// Allocate `words` 4-byte words of DRAM.
+    pub fn dram_alloc_words(&mut self, words: u64) -> Addr {
+        self.dram_alloc(words * 4)
+    }
+
+    /// Copy `data` into freshly allocated DRAM, returning its address.
+    pub fn dram_alloc_init(&mut self, data: &[u32]) -> Addr {
+        let base = self.dram_alloc_words(data.len() as u64);
+        for (i, &w) in data.iter().enumerate() {
+            self.poke(base.offset_words(i as u64), w);
+        }
+        base
+    }
+
+    // ------------------------------------------------------------------
+    // Functional (zero-time) access
+    // ------------------------------------------------------------------
+
+    /// Functional read of the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped or unaligned addresses.
+    pub fn peek(&self, addr: Addr) -> u32 {
+        assert!(addr.is_word_aligned(), "unaligned access at {addr}");
+        match self.map.decode(addr) {
+            Region::Spm { core, offset } => self.spms[core as usize].peek(offset),
+            Region::Dram { offset } => self.dram.peek(offset),
+        }
+    }
+
+    /// Functional write of the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped or unaligned addresses.
+    pub fn poke(&mut self, addr: Addr, value: u32) {
+        assert!(addr.is_word_aligned(), "unaligned access at {addr}");
+        match self.map.decode(addr) {
+            Region::Spm { core, offset } => self.spms[core as usize].poke(offset, value),
+            Region::Dram { offset } => self.dram.poke(offset, value),
+        }
+    }
+
+    /// Functional read of `len` consecutive words starting at `addr`.
+    pub fn peek_slice(&self, addr: Addr, len: usize) -> Vec<u32> {
+        (0..len)
+            .map(|i| self.peek(addr.offset_words(i as u64)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Timed access
+    // ------------------------------------------------------------------
+
+    /// Timed load by `core` at `cycle`; returns `(value, done_cycle)`.
+    pub fn read(&mut self, core: CoreId, addr: Addr, cycle: Cycle) -> (u32, Cycle) {
+        let value = self.peek(addr);
+        let done = self.timed_access(core, addr, cycle, AccessKind::Read);
+        (value, done)
+    }
+
+    /// Timed store by `core` at `cycle`; returns the cycle the store is
+    /// globally visible (for fence tracking). The core itself does not
+    /// block on this.
+    pub fn write(&mut self, core: CoreId, addr: Addr, value: u32, cycle: Cycle) -> Cycle {
+        self.poke(addr, value);
+        self.timed_access(core, addr, cycle, AccessKind::Write)
+    }
+
+    /// Timed AMO by `core` at `cycle`: atomically applies `op` with
+    /// `operand` at the endpoint and returns `(old_value, done_cycle)`.
+    ///
+    /// AMOs with release semantics are modeled by the runtime issuing a
+    /// fence first; the AMO itself is a single endpoint transaction.
+    pub fn amo(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        op: AmoOp,
+        operand: u32,
+        cycle: Cycle,
+    ) -> (u32, Cycle) {
+        let old = self.peek(addr);
+        self.poke(addr, op.apply(old, operand));
+        let done = self.timed_access(core, addr, cycle, AccessKind::Amo);
+        (old, done)
+    }
+
+    /// Route + endpoint timing shared by all access kinds.
+    fn timed_access(&mut self, core: CoreId, addr: Addr, cycle: Cycle, kind: AccessKind) -> Cycle {
+        let src = self.core_nodes[core];
+        match self.map.decode(addr) {
+            Region::Spm {
+                core: owner,
+                offset: _,
+            } => {
+                let owner = owner as usize;
+                if owner == core {
+                    // Local SPM: no network, just the port.
+                    self.spms[owner].service(cycle)
+                } else {
+                    let dst = self.core_nodes[owner];
+                    let req_arrive = self.mesh.traverse(src, dst, cycle, 1);
+                    let serviced = self.spms[owner].service(req_arrive);
+                    let done = self.mesh.traverse(dst, src, serviced, 1);
+                    if let Some(probe) = &mut self.latency_probe {
+                        if kind == AccessKind::Read {
+                            probe.record(core, owner, (done - cycle) as f64);
+                        }
+                    }
+                    done
+                }
+            }
+            Region::Dram { offset } => {
+                let bank = self.llc.bank_of(offset) as usize;
+                let dst = self.llc_nodes[bank];
+                let req_arrive = self.mesh.traverse(src, dst, cycle, 1);
+                let serviced = self
+                    .llc
+                    .access(
+                        offset,
+                        req_arrive,
+                        kind == AccessKind::Write,
+                        &mut self.dram,
+                    )
+                    .done;
+                self.mesh.traverse(dst, src, serviced, 1)
+            }
+        }
+    }
+
+    /// Uncontended round-trip latency probe from `core` to `addr`
+    /// (does not reserve bandwidth or mutate functional state).
+    pub fn probe_latency(&self, core: CoreId, addr: Addr, cycle: Cycle) -> Cycle {
+        let src = self.core_nodes[core];
+        match self.map.decode(addr) {
+            Region::Spm { core: owner, .. } => {
+                let owner = owner as usize;
+                if owner == core {
+                    self.spms[owner].local_latency()
+                } else {
+                    let dst = self.core_nodes[owner];
+                    let there = self.mesh.probe(src, dst, cycle, 1);
+                    let serviced = there + self.spms[owner].local_latency();
+                    self.mesh.probe(dst, src, serviced, 1) - cycle
+                }
+            }
+            Region::Dram { offset } => {
+                let bank = self.llc.bank_of(offset) as usize;
+                let dst = self.llc_nodes[bank];
+                let there = self.mesh.probe(src, dst, cycle, 1);
+                self.mesh
+                    .probe(dst, src, there + self.config.llc.hit_latency, 1)
+                    - cycle
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::small(4, 2))
+    }
+
+    #[test]
+    fn dram_alloc_is_disjoint_and_aligned() {
+        let mut m = machine();
+        let a = m.dram_alloc(10);
+        let b = m.dram_alloc(10);
+        assert!(b.raw() >= a.raw() + 10);
+        assert_eq!(a.raw() % 16, 0);
+        assert_eq!(b.raw() % 16, 0);
+    }
+
+    #[test]
+    fn peek_poke_spm_and_dram() {
+        let mut m = machine();
+        let spm = m.addr_map().spm_addr(3, 64);
+        let dram = m.dram_alloc_words(1);
+        m.poke(spm, 7);
+        m.poke(dram, 9);
+        assert_eq!(m.peek(spm), 7);
+        assert_eq!(m.peek(dram), 9);
+    }
+
+    #[test]
+    fn local_spm_read_is_fast() {
+        let mut m = machine();
+        let a = m.addr_map().spm_addr(0, 0);
+        let (_, done) = m.read(0, a, 100);
+        assert_eq!(done - 100, 2);
+    }
+
+    #[test]
+    fn remote_spm_read_pays_network() {
+        let mut m = machine();
+        let a = m.addr_map().spm_addr(3, 0); // (3, 1) vs core 0 at (0, 1)
+        let (_, done) = m.read(0, a, 100);
+        assert!(done - 100 > 2, "remote access must be slower than local");
+    }
+
+    #[test]
+    fn dram_read_is_much_slower_than_spm() {
+        let mut m = machine();
+        let spm = m.addr_map().spm_addr(0, 0);
+        let dram = m.dram_alloc_words(1);
+        let (_, t_spm) = m.read(0, spm, 0);
+        let (_, t_dram) = m.read(0, dram, 0);
+        assert!(t_dram > 5 * t_spm, "DRAM {t_dram} vs SPM {t_spm}");
+    }
+
+    #[test]
+    fn llc_caches_repeated_dram_reads() {
+        let mut m = machine();
+        let dram = m.dram_alloc_words(1);
+        let (_, t1) = m.read(0, dram, 0);
+        let (_, t2) = m.read(0, dram, t1);
+        assert!(t2 - t1 < t1, "second access should hit LLC");
+        let (hits, misses, _) = m.llc_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn amo_returns_old_applies_new() {
+        let mut m = machine();
+        let a = m.dram_alloc_words(1);
+        m.poke(a, 10);
+        let (old, _) = m.amo(1, a, AmoOp::Sub, 1, 0);
+        assert_eq!(old, 10);
+        assert_eq!(m.peek(a), 9);
+    }
+
+    #[test]
+    fn writes_are_functionally_visible_immediately() {
+        let mut m = machine();
+        let a = m.addr_map().spm_addr(2, 8);
+        m.write(0, a, 5, 0);
+        assert_eq!(m.peek(a), 5);
+    }
+
+    #[test]
+    fn probe_latency_grows_with_distance() {
+        let m = Machine::new(MachineConfig::small(8, 4));
+        let near = m.addr_map().spm_addr(1, 0);
+        let far = m.addr_map().spm_addr(31, 0);
+        assert!(m.probe_latency(0, far, 0) > m.probe_latency(0, near, 0));
+    }
+
+    #[test]
+    fn dram_alloc_init_copies_data() {
+        let mut m = machine();
+        let a = m.dram_alloc_init(&[1, 2, 3]);
+        assert_eq!(m.peek_slice(a, 3), vec![1, 2, 3]);
+    }
+}

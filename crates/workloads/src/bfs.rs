@@ -1,0 +1,231 @@
+//! BFS: push/pull hybrid breadth-first search (static-unbalanced).
+//!
+//! Level-synchronous, Ligra-style direction switching: small frontiers
+//! *push* (scan the frontier's out-edges, claim vertices with an AMO),
+//! large frontiers *pull* (scan all unvisited vertices for an
+//! in-neighbor on the frontier). Both directions are nested parallel
+//! loops: outer over frontier/vertices, inner over neighbor ranges for
+//! high-degree vertices.
+
+use crate::gen::device::upload_csr;
+use crate::gen::graph::Csr;
+use crate::pagerank::GraphKind;
+use crate::{Benchmark, Category, RunOutcome, Scale};
+use mosaic_runtime::{AmoOp, Mosaic, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use std::collections::VecDeque;
+
+/// Frontier fraction above which BFS switches to pull.
+pub const PULL_THRESHOLD_DIV: u32 = 16;
+/// Out-degree above which the inner loop goes parallel.
+pub const NEST_THRESHOLD: u32 = 64;
+
+/// Which dataset to traverse (paper: g14k16, bundle1, c-58).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BfsInput {
+    /// `g14k16`-like uniform graph.
+    Uniform,
+    /// `bundle1`-like block structure.
+    Block,
+    /// `c-58`-like banded structure.
+    Banded,
+}
+
+impl BfsInput {
+    /// Dataset stand-in label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BfsInput::Uniform => "g14k16",
+            BfsInput::Block => "bundle1",
+            BfsInput::Banded => "c-58",
+        }
+    }
+
+    /// Generate at `n` vertices.
+    pub fn generate(self, n: u32, seed: u64) -> Csr {
+        match self {
+            BfsInput::Uniform => GraphKind::Uniform.generate(n, seed),
+            BfsInput::Block => crate::gen::graph::block(n, 8, 2, seed),
+            BfsInput::Banded => GraphKind::Banded.generate(n, seed),
+        }
+    }
+}
+
+/// A BFS instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    /// Vertices.
+    pub n: u32,
+    /// Input structure.
+    pub input: BfsInput,
+    /// Source vertex.
+    pub source: u32,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Bfs {
+    /// Host reference: `level[v] = hops + 1`, `0` for unreachable.
+    pub fn reference(g: &Csr, source: u32) -> Vec<u32> {
+        let mut level = vec![0u32; g.n as usize];
+        level[source as usize] = 1;
+        let mut q = VecDeque::from([source]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if level[v as usize] == 0 {
+                    level[v as usize] = level[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        level
+    }
+}
+
+impl Benchmark for Bfs {
+    fn name(&self) -> String {
+        format!("BFS-{}", self.input.label())
+    }
+
+    fn category(&self) -> Category {
+        Category::StaticUnbalanced
+    }
+
+    fn run(&self, machine: MachineConfig, runtime: RuntimeConfig) -> RunOutcome {
+        let mut sys = Mosaic::new(machine, runtime);
+        let g = self.input.generate(self.n, self.seed);
+        let gt = g.transpose();
+        let n = g.n; // generators may round the size (RMAT: power of 2)
+        let source = self.source % n;
+        let dg = upload_csr(sys.machine_mut(), &g);
+        let dgt = upload_csr(sys.machine_mut(), &gt);
+        // level[v]: 0 unvisited, else distance+1. claimed[v]: AMO target.
+        let dlevel = sys.machine_mut().dram_alloc_words(n as u64);
+        let dclaim = sys.machine_mut().dram_alloc_words(n as u64);
+        let dfrontier = sys.machine_mut().dram_alloc_words(n as u64);
+        let dnext = sys.machine_mut().dram_alloc_words(n as u64);
+        let dnext_cnt = sys.machine_mut().dram_alloc_words(1);
+        sys.machine_mut()
+            .poke(dlevel.offset_words(source as u64), 1);
+        sys.machine_mut()
+            .poke(dclaim.offset_words(source as u64), 1);
+        sys.machine_mut().poke(dfrontier, source);
+        let grain = (n / 256).max(2);
+
+        let report = sys.run(move |ctx| {
+            let mut frontier = dfrontier;
+            let mut next = dnext;
+            let mut frontier_len = 1u32;
+            let mut depth = 1u32;
+            while frontier_len > 0 {
+                ctx.store(dnext_cnt, 0);
+                ctx.fence();
+                let push = frontier_len < n / PULL_THRESHOLD_DIV;
+                if push {
+                    // Push: expand the frontier's out-edges.
+                    let f = frontier;
+                    ctx.parallel_for(0, frontier_len, grain.min(8), 6, move |ctx, fi| {
+                        let u = ctx.load(f.offset_words(fi as u64));
+                        let s = ctx.load(dg.row_ptr.offset_words(u as u64));
+                        let e = ctx.load(dg.row_ptr.offset_words(u as u64 + 1));
+                        let visit = move |ctx: &mut mosaic_runtime::TaskCtx<'_>, k: u32| {
+                            let v = ctx.load(dg.col.offset_words(k as u64));
+                            let old = ctx.amo(dclaim.offset_words(v as u64), AmoOp::Swap, 1);
+                            if old == 0 {
+                                ctx.store(dlevel.offset_words(v as u64), depth + 1);
+                                let slot = ctx.amo(dnext_cnt, AmoOp::Add, 1);
+                                ctx.store(next.offset_words(slot as u64), v);
+                            }
+                            ctx.compute(2, 2);
+                        };
+                        if e - s > NEST_THRESHOLD {
+                            ctx.parallel_for(s, e, NEST_THRESHOLD / 2, 5, visit);
+                        } else {
+                            for k in s..e {
+                                visit(ctx, k);
+                            }
+                        }
+                    });
+                } else {
+                    // Pull: every unvisited vertex scans in-neighbors.
+                    ctx.parallel_for(0, n, grain, 6, move |ctx, v| {
+                        let claimed = ctx.load(dclaim.offset_words(v as u64));
+                        if claimed != 0 {
+                            ctx.compute(1, 1);
+                            return;
+                        }
+                        let s = ctx.load(dgt.row_ptr.offset_words(v as u64));
+                        let e = ctx.load(dgt.row_ptr.offset_words(v as u64 + 1));
+                        for k in s..e {
+                            let u = ctx.load(dgt.col.offset_words(k as u64));
+                            let lu = ctx.load(dlevel.offset_words(u as u64));
+                            ctx.compute(2, 2);
+                            if lu == depth {
+                                ctx.store(dclaim.offset_words(v as u64), 1);
+                                ctx.store(dlevel.offset_words(v as u64), depth + 1);
+                                let slot = ctx.amo(dnext_cnt, AmoOp::Add, 1);
+                                ctx.store(next.offset_words(slot as u64), v);
+                                break;
+                            }
+                        }
+                    });
+                }
+                ctx.fence();
+                frontier_len = ctx.load(dnext_cnt);
+                std::mem::swap(&mut frontier, &mut next);
+                depth += 1;
+            }
+        });
+
+        let got = report.machine.peek_slice(dlevel, n as usize);
+        let want = Self::reference(&g, source);
+        RunOutcome {
+            verified: got == want,
+            report,
+        }
+    }
+}
+
+/// Table-1 instances (paper order: g14k16, bundle1, c-58).
+pub fn instances(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    let n = match scale {
+        Scale::Tiny => 192,
+        Scale::Small => 1024,
+        Scale::Full => 4096,
+    };
+    [BfsInput::Uniform, BfsInput::Block, BfsInput::Banded]
+        .into_iter()
+        .map(|input| {
+            Box::new(Bfs {
+                n,
+                input,
+                source: 1,
+                seed: 0xBF,
+            }) as Box<dyn Benchmark>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_levels_are_bfs_distances() {
+        let g = Csr::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
+        let l = Bfs::reference(&g, 0);
+        assert_eq!(l, vec![1, 2, 3, 3, 2]);
+    }
+
+    #[test]
+    fn simulated_bfs_verifies() {
+        let b = Bfs {
+            n: 96,
+            input: BfsInput::Uniform,
+            source: 1,
+            seed: 6,
+        };
+        let out = b.run(MachineConfig::small(4, 2), RuntimeConfig::work_stealing());
+        out.assert_verified();
+    }
+}

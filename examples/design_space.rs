@@ -1,0 +1,69 @@
+//! Design-space exploration: how does the work-stealing runtime's
+//! advantage change with the machine? Sweeps SPM size, ruche factor,
+//! and DRAM queue capacity on the UTS workload — the kind of
+//! architecture study this simulator exists to make cheap.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-xtests --example design_space
+//! ```
+
+use mosaic_runtime::{Placement, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::gen::UtsParams;
+use mosaic_workloads::uts::Uts;
+use mosaic_workloads::Benchmark;
+
+fn bench() -> Uts {
+    Uts {
+        params: UtsParams {
+            root_children: 16,
+            max_depth: 24,
+            ..UtsParams::t3(7)
+        },
+        label: "t3",
+    }
+}
+
+fn main() {
+    println!("Design-space sweeps on 32 cores (work-stealing, stack+queue in SPM)\n");
+
+    println!("SPM size sweep on NQueens-7 (deep stacks; smaller SPM = more");
+    println!("frames overflowing to DRAM):");
+    for spm in [1024u32, 2048, 4096, 8192] {
+        let mut m = MachineConfig::small(8, 4);
+        m.spm_size = spm;
+        let out = mosaic_workloads::nqueens::NQueens { n: 7 }.run(m, RuntimeConfig::work_stealing());
+        out.assert_verified();
+        let t = out.report.totals();
+        println!(
+            "  spm={spm:5} B  {:>8} cycles  overflows={:<6} max-stack={} words",
+            out.report.cycles, t.stack_overflows, t.max_stack_words
+        );
+    }
+    println!();
+
+    println!("\nRuche (express link) factor sweep on UTS-t3:");
+    for ruche in [0u16, 2, 3, 4] {
+        let mut m = MachineConfig::small(8, 4);
+        m.ruche_x = ruche;
+        let out = bench().run(m, RuntimeConfig::work_stealing());
+        out.assert_verified();
+        println!("  ruche={ruche}  {:>8} cycles", out.report.cycles);
+    }
+
+    println!("\nDRAM-queue capacity sweep on UTS-t3 (queue in DRAM):");
+    for cap in [8u32, 32, 128, 1024] {
+        let cfg = RuntimeConfig {
+            queue: Placement::Dram,
+            dram_queue_capacity: cap,
+            ..RuntimeConfig::work_stealing()
+        };
+        let out = bench().run(MachineConfig::small(8, 4), cfg);
+        out.assert_verified();
+        let t = out.report.totals();
+        println!(
+            "  cap={cap:4}  {:>8} cycles  inlined={} max-depth={}",
+            out.report.cycles, t.inline_executions, t.max_queue_depth
+        );
+    }
+}

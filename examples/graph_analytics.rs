@@ -1,0 +1,72 @@
+//! Graph analytics on the simulated manycore: PageRank and BFS over an
+//! `email`-like power-law graph, comparing the traditional static-loop
+//! scheduler against the work-stealing runtime — the paper's headline
+//! comparison, as a library user would run it.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-xtests --example graph_analytics
+//! ```
+
+use mosaic_runtime::{Placement, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::bfs::{Bfs, BfsInput};
+use mosaic_workloads::pagerank::{GraphKind, PageRank};
+use mosaic_workloads::Benchmark;
+
+fn main() {
+    let machine = MachineConfig::small(8, 4); // 32 cores
+    let configs = [
+        (
+            "static loops (SPM stack)",
+            RuntimeConfig::static_loops(Placement::Spm),
+        ),
+        (
+            "work-stealing (naive, all DRAM)",
+            RuntimeConfig::work_stealing_naive(),
+        ),
+        (
+            "work-stealing (SPM stack+queue)",
+            RuntimeConfig::work_stealing(),
+        ),
+    ];
+
+    println!("PageRank, power-law graph (n=2048, 1 iteration):");
+    let pr = PageRank {
+        n: 2048,
+        kind: GraphKind::PowerLaw,
+        iters: 1,
+        seed: 7,
+    };
+    let mut baseline = None;
+    for (name, cfg) in &configs {
+        let out = pr.run(machine.clone(), cfg.clone());
+        out.assert_verified();
+        let cycles = out.report.cycles;
+        let base = *baseline.get_or_insert(cycles);
+        println!(
+            "  {name:34} {cycles:>9} cycles  ({:.2}x vs static)",
+            base as f64 / cycles as f64
+        );
+    }
+
+    println!("\nBFS, uniform graph (n=1024):");
+    let bfs = Bfs {
+        n: 1024,
+        input: BfsInput::Uniform,
+        source: 1,
+        seed: 7,
+    };
+    let mut baseline = None;
+    for (name, cfg) in &configs {
+        let out = bfs.run(machine.clone(), cfg.clone());
+        out.assert_verified();
+        let cycles = out.report.cycles;
+        let base = *baseline.get_or_insert(cycles);
+        let t = out.report.totals();
+        println!(
+            "  {name:34} {cycles:>9} cycles  ({:.2}x vs static, {} steals)",
+            base as f64 / cycles as f64,
+            t.steals
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Where should runtime data live? A user-level replication of the
+//! paper's data-placement study (§4.4) on NQueens — the most
+//! stack-hungry workload — sweeping all four stack/queue placements
+//! and reporting stack-overflow behaviour.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-xtests --example placement_study
+//! ```
+
+use mosaic_runtime::{Placement, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::nqueens::NQueens;
+use mosaic_workloads::Benchmark;
+
+fn main() {
+    let machine = MachineConfig::small(8, 4);
+    let q = NQueens { n: 6 };
+    println!("NQueens(6) on 32 cores:\n");
+    println!(
+        "{:<12} {:<12} {:>10} {:>10} {:>12} {:>10}",
+        "stack", "queue", "cycles", "DI", "overflows", "max-stack"
+    );
+    let mut best: Option<(u64, &str, &str)> = None;
+    for stack in [Placement::Dram, Placement::Spm] {
+        for queue in [Placement::Dram, Placement::Spm] {
+            let cfg = RuntimeConfig {
+                stack,
+                queue,
+                ..RuntimeConfig::work_stealing()
+            };
+            let out = q.run(machine.clone(), cfg);
+            out.assert_verified();
+            let t = out.report.totals();
+            let (sl, ql) = (
+                if stack == Placement::Spm {
+                    "SPM"
+                } else {
+                    "DRAM"
+                },
+                if queue == Placement::Spm {
+                    "SPM"
+                } else {
+                    "DRAM"
+                },
+            );
+            println!(
+                "{:<12} {:<12} {:>10} {:>10} {:>12} {:>10}",
+                sl,
+                ql,
+                out.report.cycles,
+                out.report.instructions(),
+                t.stack_overflows,
+                t.max_stack_words
+            );
+            if best.is_none() || out.report.cycles < best.unwrap().0 {
+                best = Some((out.report.cycles, sl, ql));
+            }
+        }
+    }
+    let (cycles, sl, ql) = best.unwrap();
+    println!("\nbest: stack={sl} queue={ql} at {cycles} cycles");
+    println!("(the paper finds NQueens best with the SPM reserved for the stack)");
+}

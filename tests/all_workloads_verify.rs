@@ -1,0 +1,84 @@
+//! Every Table-1 workload instance produces results identical to its
+//! host reference under representative runtime configurations — the
+//! foundational functional-correctness gate for the whole stack
+//! (runtime + simulator + workloads).
+
+use mosaic_runtime::{Placement, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::{table1_benchmarks, Scale};
+
+fn machine() -> MachineConfig {
+    MachineConfig::small(4, 2)
+}
+
+#[test]
+fn all_workloads_verify_under_work_stealing() {
+    for b in table1_benchmarks(Scale::Tiny) {
+        let out = b.run(machine(), RuntimeConfig::work_stealing());
+        assert!(out.verified, "{} failed under ws/spm/spm", b.name());
+    }
+}
+
+#[test]
+fn all_workloads_verify_under_naive_work_stealing() {
+    for b in table1_benchmarks(Scale::Tiny) {
+        let out = b.run(machine(), RuntimeConfig::work_stealing_naive());
+        assert!(out.verified, "{} failed under ws/dram/dram", b.name());
+    }
+}
+
+#[test]
+fn all_workloads_verify_under_static_scheduler() {
+    for b in table1_benchmarks(Scale::Tiny) {
+        if !b.has_static_baseline() {
+            continue;
+        }
+        let out = b.run(machine(), RuntimeConfig::static_loops(Placement::Spm));
+        assert!(out.verified, "{} failed under static/spm", b.name());
+    }
+}
+
+#[test]
+fn all_workloads_verify_under_work_dealing() {
+    // The related-work scheduler must be functionally equivalent.
+    for b in table1_benchmarks(Scale::Tiny) {
+        let out = b.run(machine(), RuntimeConfig::work_dealing());
+        assert!(out.verified, "{} failed under work-dealing", b.name());
+    }
+}
+
+#[test]
+fn all_workloads_verify_on_single_core() {
+    // Degenerate machine: no thieves, no victims.
+    for b in table1_benchmarks(Scale::Tiny) {
+        let out = b.run(MachineConfig::small(1, 1), RuntimeConfig::work_stealing());
+        assert!(out.verified, "{} failed on 1 core", b.name());
+    }
+}
+
+#[test]
+fn mixed_placement_configs_also_verify() {
+    let cfgs = [
+        RuntimeConfig {
+            stack: Placement::Spm,
+            queue: Placement::Dram,
+            ..RuntimeConfig::work_stealing()
+        },
+        RuntimeConfig {
+            stack: Placement::Dram,
+            queue: Placement::Spm,
+            ..RuntimeConfig::work_stealing()
+        },
+    ];
+    // A stack-heavy and a queue-heavy representative.
+    for b in table1_benchmarks(Scale::Tiny) {
+        let name = b.name();
+        if !(name.starts_with("NQ") || name.starts_with("CilkSort")) {
+            continue;
+        }
+        for cfg in &cfgs {
+            let out = b.run(machine(), cfg.clone());
+            assert!(out.verified, "{name} failed under {cfg:?}");
+        }
+    }
+}

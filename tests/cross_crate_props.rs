@@ -1,0 +1,180 @@
+//! Property-based tests spanning the whole stack: arbitrary inputs run
+//! through the simulated machine must agree with host references, and
+//! substrate invariants must hold for arbitrary parameters.
+
+use mosaic_mem::{AddrMap, Region};
+use mosaic_mesh::MeshConfig;
+use mosaic_runtime::{Mosaic, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// parallel_reduce over arbitrary data equals the host fold.
+    #[test]
+    fn reduce_matches_host_fold(data in prop::collection::vec(0u32..1000, 1..200)) {
+        let n = data.len() as u32;
+        let mut sys = Mosaic::new(MachineConfig::small(2, 2), RuntimeConfig::work_stealing());
+        let d = sys.machine_mut().dram_alloc_init(&data);
+        let out = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let o = out.clone();
+        sys.run(move |ctx| {
+            let s = ctx.parallel_reduce(0, n, 4, 2, 0u64,
+                move |ctx, i| ctx.load(d.offset_words(i as u64)) as u64,
+                |a, b| a + b);
+            o.store(s, std::sync::atomic::Ordering::Relaxed);
+        });
+        let want: u64 = data.iter().map(|&v| v as u64).sum();
+        prop_assert_eq!(out.load(std::sync::atomic::Ordering::Relaxed), want);
+    }
+
+    /// parallel_for writes every index exactly once, for arbitrary
+    /// ranges and grains.
+    #[test]
+    fn parallel_for_covers_range(lo in 0u32..50, len in 0u32..150, grain in 1u32..40) {
+        let hi = lo + len;
+        let mut sys = Mosaic::new(MachineConfig::small(2, 2), RuntimeConfig::work_stealing());
+        let d = sys.machine_mut().dram_alloc_words(200);
+        let report = sys.run(move |ctx| {
+            ctx.parallel_for(lo, hi, grain, 2, move |ctx, i| {
+                let a = d.offset_words(i as u64);
+                let v = ctx.load(a);
+                ctx.store(a, v + 1);
+            });
+        });
+        for i in 0..200u64 {
+            let v = report.machine.peek(d.offset_words(i));
+            let expect = u32::from((i as u32) >= lo && (i as u32) < hi);
+            prop_assert_eq!(v, expect, "index {}", i);
+        }
+    }
+
+    /// PGAS decode is the inverse of encode for arbitrary coordinates.
+    #[test]
+    fn addr_map_roundtrip(core in 0u32..128, off in 0u32..1024, dram_off in 0u64..1_000_000) {
+        let m = AddrMap::new(128, 4096);
+        let a = m.spm_addr(core, off * 4);
+        prop_assert_eq!(m.decode(a), Region::Spm { core, offset: off * 4 });
+        let d = m.dram_addr(dram_off * 4);
+        prop_assert_eq!(m.decode(d), Region::Dram { offset: dram_off * 4 });
+    }
+
+    /// X-Y routes are contiguous, minimal in Y, and end at the target,
+    /// for arbitrary mesh shapes (no ruche).
+    #[test]
+    fn routes_are_legal(cols in 2u16..12, rows in 2u16..8, a in 0usize..64, b in 0usize..64) {
+        let cfg = MeshConfig::new(cols, rows, 0);
+        let n = cfg.core_count();
+        let (a, b) = (a % n, b % n);
+        let (src, dst) = (cfg.core_node(a), cfg.core_node(b));
+        let route = cfg.route(src, dst);
+        let mut at = src;
+        let mut y_moves = 0;
+        for l in route.links() {
+            let (from, to) = cfg.link_table()[l.index()];
+            prop_assert_eq!(from, at);
+            if cfg.coord(from).y != cfg.coord(to).y {
+                y_moves += 1;
+            }
+            at = to;
+        }
+        prop_assert_eq!(at, dst);
+        let want_y = cfg.coord(src).y.abs_diff(cfg.coord(dst).y);
+        prop_assert_eq!(y_moves, want_y as i32, "Y moves must be minimal");
+    }
+
+    /// The simulated machine's functional memory behaves like memory:
+    /// an arbitrary program of pokes then peeks reads back what was
+    /// last written.
+    #[test]
+    fn machine_memory_is_memory(writes in prop::collection::vec((0u64..256, any::<u32>()), 1..60)) {
+        let mut m = mosaic_sim::Machine::new(MachineConfig::small(2, 1));
+        let base = m.dram_alloc_words(256);
+        let mut shadow = std::collections::HashMap::new();
+        for (i, v) in &writes {
+            m.poke(base.offset_words(*i), *v);
+            shadow.insert(*i, *v);
+        }
+        for (i, v) in shadow {
+            prop_assert_eq!(m.peek(base.offset_words(i)), v);
+        }
+    }
+}
+
+/// CilkSort sorts arbitrary data (deterministic cases picked by seed
+/// since each case is a full simulation).
+#[test]
+fn cilksort_sorts_arbitrary_seeds() {
+    use mosaic_workloads::{cilksort::CilkSort, Benchmark};
+    for seed in [0u64, 1, 0xdead, 42] {
+        let out = CilkSort { n: 200, seed }
+            .run(MachineConfig::small(2, 2), RuntimeConfig::work_stealing());
+        assert!(out.verified, "seed {seed} failed");
+    }
+}
+
+/// Random fork-join DAGs: an arbitrary nesting structure of spawns
+/// computes the same checksum the host computes, under both queue
+/// placements.
+#[test]
+fn random_fork_join_dags_compute_correctly() {
+    use mosaic_runtime::{Placement, TaskCtx};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    // Deterministic "random" DAG: node (seed, depth) spawns
+    // children based on a hash, each contributing its id.
+    fn node(ctx: &mut TaskCtx<'_>, seed: u64, depth: u32, acc: Arc<AtomicU64>) {
+        acc.fetch_add(seed ^ depth as u64, Ordering::Relaxed);
+        ctx.compute(3, 3);
+        if depth == 0 {
+            return;
+        }
+        let fanout = (seed % 4) as u32; // 0..=3 children
+        for i in 0..fanout {
+            let child_seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64);
+            let acc = acc.clone();
+            ctx.spawn(move |ctx| node(ctx, child_seed, depth - 1, acc));
+        }
+        if fanout > 0 {
+            ctx.wait();
+        }
+    }
+
+    fn host(seed: u64, depth: u32, acc: &mut u64) {
+        *acc = acc.wrapping_add(seed ^ depth as u64);
+        if depth == 0 {
+            return;
+        }
+        for i in 0..(seed % 4) as u32 {
+            let child_seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64);
+            host(child_seed, depth - 1, acc);
+        }
+    }
+
+    for root_seed in [3u64, 17, 0xfeed, 0xabcdef] {
+        for placement in [Placement::Spm, Placement::Dram] {
+            let cfg = RuntimeConfig {
+                queue: placement,
+                ..RuntimeConfig::work_stealing()
+            };
+            let acc = Arc::new(AtomicU64::new(0));
+            let a2 = acc.clone();
+            let sys = mosaic_runtime::Mosaic::new(MachineConfig::small(4, 2), cfg);
+            sys.run(move |ctx| node(ctx, root_seed, 6, a2));
+            let mut want = 0u64;
+            host(root_seed, 6, &mut want);
+            // The atomic adds wrap the same way.
+            assert_eq!(
+                acc.load(Ordering::Relaxed),
+                want,
+                "seed {root_seed} {placement:?}"
+            );
+        }
+    }
+}

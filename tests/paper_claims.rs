@@ -1,0 +1,119 @@
+//! The paper's qualitative claims, checked as executable assertions at
+//! reduced scale (the headline behaviours of §6, each as a "who wins"
+//! statement rather than an absolute number).
+
+use mosaic_runtime::{Placement, RuntimeConfig};
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::gen::UtsParams;
+use mosaic_workloads::uts::Uts;
+use mosaic_workloads::{matmul::MatMul, Benchmark};
+
+fn machine() -> MachineConfig {
+    MachineConfig::small(8, 4) // 32 cores
+}
+
+/// Claim 1 (§6): work-stealing dramatically beats static scheduling on
+/// dynamic-unbalanced workloads (UTS is the paper's 25-28x case).
+#[test]
+fn work_stealing_crushes_static_on_uts() {
+    let u = Uts {
+        params: UtsParams {
+            root_children: 32,
+            max_depth: 32,
+            ..UtsParams::t3(7)
+        },
+        label: "t3",
+    };
+    let st = u.run(machine(), RuntimeConfig::static_loops(Placement::Spm));
+    let ws = u.run(machine(), RuntimeConfig::work_stealing());
+    st.assert_verified();
+    ws.assert_verified();
+    let speedup = st.report.cycles as f64 / ws.report.cycles as f64;
+    assert!(
+        speedup > 2.0,
+        "UTS must speed up substantially under work-stealing (got {speedup:.2}x)"
+    );
+}
+
+/// Claim 2 (§6): on static-balanced workloads the work-stealing
+/// runtime induces only minimal overhead.
+#[test]
+fn minimal_overhead_on_balanced_matmul() {
+    let mm = MatMul { n: 48, seed: 0xA };
+    let st = mm.run(machine(), RuntimeConfig::static_loops(Placement::Spm));
+    let ws = mm.run(machine(), RuntimeConfig::work_stealing());
+    st.assert_verified();
+    ws.assert_verified();
+    let overhead = ws.report.cycles as f64 / st.report.cycles as f64;
+    assert!(
+        overhead < 1.25,
+        "work-stealing overhead on MatMul too high: {overhead:.2}x (paper: <=1.1x)"
+    );
+}
+
+/// Claim 3 (§6, Table 1): work-stealing executes more dynamic
+/// instructions than static scheduling on regular loops (task
+/// creation, scheduling, failed steals) — overhead that is off the
+/// critical path.
+#[test]
+fn work_stealing_costs_instructions_on_matmul() {
+    let mm = MatMul { n: 32, seed: 0xA };
+    let st = mm.run(machine(), RuntimeConfig::static_loops(Placement::Spm));
+    let ws = mm.run(machine(), RuntimeConfig::work_stealing());
+    assert!(
+        ws.report.instructions() > st.report.instructions(),
+        "ws DI {} must exceed static DI {}",
+        ws.report.instructions(),
+        st.report.instructions()
+    );
+}
+
+/// Claim 4 (§4.1): the naive all-DRAM runtime is functionally correct
+/// — the paper's point is that it merely *performs* worse; everything
+/// else about it must work.
+#[test]
+fn naive_runtime_correct_but_slower_on_stack_heavy_work() {
+    let u = Uts {
+        params: UtsParams {
+            root_children: 16,
+            max_depth: 16,
+            ..UtsParams::t3(7)
+        },
+        label: "t3",
+    };
+    let naive = u.run(machine(), RuntimeConfig::work_stealing_naive());
+    let best = u.run(machine(), RuntimeConfig::work_stealing());
+    naive.assert_verified();
+    best.assert_verified();
+    assert!(
+        best.report.cycles < naive.report.cycles,
+        "SPM placement must improve on the naive runtime"
+    );
+}
+
+/// Claim 5 (§6): dynamic load balancing actually moves work — on an
+/// unbalanced input a substantial fraction of tasks execute away from
+/// their spawning core.
+#[test]
+fn steals_happen_on_unbalanced_work() {
+    let u = Uts {
+        params: UtsParams {
+            root_children: 16,
+            max_depth: 20,
+            ..UtsParams::t3(7)
+        },
+        label: "t3",
+    };
+    let out = u.run(machine(), RuntimeConfig::work_stealing());
+    out.assert_verified();
+    let t = out.report.totals();
+    assert!(t.steals > 10, "expected real stealing, saw {}", t.steals);
+    // Work spread over more than one core:
+    let active = out
+        .report
+        .worker_stats
+        .iter()
+        .filter(|w| w.tasks_executed > 0)
+        .count();
+    assert!(active > 8, "only {active} cores executed tasks");
+}

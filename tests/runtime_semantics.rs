@@ -1,0 +1,207 @@
+//! Semantics of the runtime primitives: fully-strict fork-join,
+//! SPM allocation, stack overflow to DRAM, queue-full inlining, and
+//! pattern edge cases.
+
+use mosaic_runtime::{AmoOp, Mosaic, Placement, RuntimeConfig, TaskCtx};
+use mosaic_sim::MachineConfig;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn small() -> MachineConfig {
+    MachineConfig::small(4, 2)
+}
+
+#[test]
+fn children_complete_before_wait_returns() {
+    // Fully-strict: after wait(), every child's simulated-memory write
+    // is visible to the parent.
+    let mut sys = Mosaic::new(small(), RuntimeConfig::work_stealing());
+    let flags = sys.machine_mut().dram_alloc_words(64);
+    let report = sys.run(move |ctx| {
+        for i in 0..64u64 {
+            ctx.spawn(move |ctx| {
+                ctx.compute(5, 50);
+                ctx.store(flags.offset_words(i), i as u32 + 1);
+                ctx.fence();
+            });
+        }
+        ctx.wait();
+        for i in 0..64u64 {
+            let v = ctx.load(flags.offset_words(i));
+            assert_eq!(v, i as u32 + 1, "child {i} write not visible after join");
+        }
+    });
+    assert!(report.cycles > 0);
+}
+
+#[test]
+fn nested_spawn_wait_arbitrary_depth() {
+    fn tree(ctx: &mut TaskCtx<'_>, depth: u32, acc: Arc<AtomicU64>) {
+        acc.fetch_add(1, Ordering::Relaxed);
+        if depth == 0 {
+            return;
+        }
+        for _ in 0..2 {
+            let acc = acc.clone();
+            ctx.spawn(move |ctx| tree(ctx, depth - 1, acc));
+        }
+        ctx.wait();
+    }
+    let acc = Arc::new(AtomicU64::new(0));
+    let a2 = acc.clone();
+    let sys = Mosaic::new(small(), RuntimeConfig::work_stealing());
+    sys.run(move |ctx| tree(ctx, 6, a2));
+    assert_eq!(acc.load(Ordering::Relaxed), (1 << 7) - 1, "2^7 - 1 nodes");
+}
+
+#[test]
+fn main_without_wait_is_drained_at_shutdown() {
+    // run_main joins stragglers before raising done flags.
+    let hit = Arc::new(AtomicU32::new(0));
+    let h = hit.clone();
+    let sys = Mosaic::new(small(), RuntimeConfig::work_stealing());
+    sys.run(move |ctx| {
+        for _ in 0..10 {
+            let h = h.clone();
+            ctx.spawn(move |ctx| {
+                ctx.compute(1, 100);
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // no wait() here on purpose
+    });
+    assert_eq!(hit.load(Ordering::Relaxed), 10);
+}
+
+#[test]
+fn spm_malloc_respects_reservation() {
+    let mut cfg = RuntimeConfig::work_stealing();
+    cfg.spm_user_reserve = 64;
+    let sys = Mosaic::new(small(), cfg);
+    sys.run(|ctx| {
+        let a = ctx.spm_malloc(32).expect("fits");
+        let b = ctx.spm_malloc(32).expect("fits exactly");
+        assert_ne!(a, b);
+        assert!(
+            ctx.spm_malloc(4).is_none(),
+            "over-allocation must return None (the paper's null pointer)"
+        );
+        // The region is real memory.
+        ctx.store(a, 7);
+        assert_eq!(ctx.load(a), 7);
+    });
+}
+
+#[test]
+fn deep_recursion_overflows_to_dram_and_stays_correct() {
+    // Recursion deep enough to exceed the ~3.5 KB SPM stack while the
+    // stack is SPM-placed: frames must spill to the DRAM buffer and
+    // data must survive.
+    fn deep(ctx: &mut TaskCtx<'_>, depth: u32) -> u64 {
+        ctx.call(move |ctx| {
+            let slot = ctx.stack_alloc(8);
+            ctx.store(slot, depth);
+            let below = if depth == 0 { 0 } else { deep(ctx, depth - 1) };
+            let mine = ctx.load(slot) as u64;
+            ctx.stack_free();
+            below + mine
+        })
+    }
+    let out = Arc::new(AtomicU64::new(0));
+    let o = out.clone();
+    let sys = Mosaic::new(small(), RuntimeConfig::work_stealing());
+    let report = sys.run(move |ctx| {
+        let depth = 300; // ~300 frames x >=10 words >> 880-word SPM stack
+        let sum = deep(ctx, depth);
+        o.store(sum, Ordering::Relaxed);
+    });
+    assert_eq!(out.load(Ordering::Relaxed), 300 * 301 / 2);
+    assert!(
+        report.totals().stack_overflows > 0,
+        "expected frames to overflow to DRAM"
+    );
+}
+
+#[test]
+fn queue_full_executes_inline() {
+    // A one-entry-class queue forces inline execution; fan-out of 32
+    // children must still all run.
+    let mut cfg = RuntimeConfig::work_stealing();
+    cfg.queue = Placement::Dram;
+    cfg.dram_queue_capacity = 2;
+    let sys = Mosaic::new(small(), cfg);
+    let hits = Arc::new(AtomicU32::new(0));
+    let h = hits.clone();
+    let report = sys.run(move |ctx| {
+        for _ in 0..32 {
+            let h = h.clone();
+            ctx.spawn(move |_ctx| {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        ctx.wait();
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 32);
+    assert!(
+        report.totals().inline_executions > 0,
+        "tiny queue must force inlining"
+    );
+}
+
+#[test]
+fn parallel_patterns_edge_cases() {
+    let mut sys = Mosaic::new(small(), RuntimeConfig::work_stealing());
+    let cell = sys.machine_mut().dram_alloc_words(1);
+    let sys_report = sys.run(move |ctx| {
+        // Empty range: no effect.
+        ctx.parallel_for(5, 5, 4, 2, move |_ctx, _i| unreachable!("empty range"));
+        // Single element.
+        ctx.parallel_for(7, 8, 4, 2, move |ctx, i| {
+            ctx.store(cell, i);
+        });
+        // Reduce over empty range yields the identity.
+        let r = ctx.parallel_reduce(3, 3, 1, 0, 123u32, |_ctx, _i| 0, |a, b| a + b);
+        assert_eq!(r, 123);
+        // Reduce matches a sequential fold.
+        let s = ctx.parallel_reduce(
+            0,
+            100,
+            7,
+            2,
+            0u64,
+            |ctx, i| {
+                ctx.compute(1, 1);
+                i as u64 * i as u64
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(s, (0..100u64).map(|i| i * i).sum());
+    });
+    assert_eq!(sys_report.machine.peek(cell), 7);
+}
+
+#[test]
+fn amo_semantics_through_ctx() {
+    let mut sys = Mosaic::new(small(), RuntimeConfig::work_stealing());
+    let word = sys.machine_mut().dram_alloc_words(1);
+    sys.machine_mut().poke(word, 5);
+    let report = sys.run(move |ctx| {
+        let old = ctx.amo(word, AmoOp::Add, 3);
+        assert_eq!(old, 5);
+        let old = ctx.amo_release(word, AmoOp::Swap, 100);
+        assert_eq!(old, 8);
+    });
+    assert_eq!(report.machine.peek(word), 100);
+}
+
+#[test]
+fn concurrent_atomic_increments_from_parallel_for() {
+    let mut sys = Mosaic::new(small(), RuntimeConfig::work_stealing());
+    let ctr = sys.machine_mut().dram_alloc_words(1);
+    let report = sys.run(move |ctx| {
+        ctx.parallel_for(0, 500, 8, 2, move |ctx, _i| {
+            ctx.amo(ctr, AmoOp::Add, 1);
+        });
+    });
+    assert_eq!(report.machine.peek(ctr), 500);
+}

@@ -1,0 +1,1 @@
+//! Carrier package for workspace-level integration tests (../tests) and examples (../examples).
