@@ -4,9 +4,10 @@
 //! right policy for SPM manycores; this quantifies the gap under an
 //! identical substrate and placement configuration.
 
-use mosaic_bench::{Options, Table};
+use mosaic_bench::{sweep, Options, Table};
 use mosaic_runtime::{Placement, RuntimeConfig};
 use mosaic_workloads::{matmul, pagerank, uts, Benchmark, Scale};
+use std::time::Instant;
 
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
@@ -15,47 +16,79 @@ fn main() {
     benches.extend(pagerank::instances(opts.scale).into_iter().skip(1).take(1));
     benches.extend(uts::instances(opts.scale));
 
-    let mut table = Table::new(&["workload", "scheduler", "cycles", "moved", "vs static"]);
-    for b in &benches {
-        let static_cycles = if b.has_static_baseline() {
-            let out = b.run(opts.machine(), RuntimeConfig::static_loops(Placement::Spm));
-            out.assert_verified();
-            Some(out.report.cycles)
-        } else {
-            None
-        };
-        if let Some(sc) = static_cycles {
-            table.row(vec![
-                b.name(),
-                "static".into(),
-                format!("{sc}"),
-                "-".into(),
-                "1.00".into(),
-            ]);
+    // Flat cell list: schedulers vary per benchmark (no static baseline
+    // for the irregular workloads), so enumerate explicitly.
+    let mut cells: Vec<(usize, &str)> = Vec::new();
+    for (bi, b) in benches.iter().enumerate() {
+        if b.has_static_baseline() {
+            cells.push((bi, "static"));
         }
-        for (name, cfg) in [
-            ("stealing", RuntimeConfig::work_stealing()),
-            ("dealing", RuntimeConfig::work_dealing()),
-        ] {
-            let out = b.run(opts.machine(), cfg);
+        cells.push((bi, "stealing"));
+        cells.push((bi, "dealing"));
+    }
+    let count = cells.len();
+    let jobs = opts.effective_jobs(count);
+    let mut table = Table::new(&["workload", "scheduler", "cycles", "moved", "vs static"]);
+    let mut golden = opts.golden_file("ablation_dealing");
+    let mut static_of: Vec<Option<u64>> = vec![None; benches.len()];
+    let start = Instant::now();
+    let cell_time = sweep::run_cells(
+        count,
+        jobs,
+        |i| {
+            let (bi, sched) = cells[i];
+            let cfg = match sched {
+                "static" => RuntimeConfig::static_loops(Placement::Spm),
+                "stealing" => RuntimeConfig::work_stealing(),
+                _ => RuntimeConfig::work_dealing(),
+            };
+            let out = benches[bi].run(opts.machine(), cfg);
             out.assert_verified();
             let t = out.report.totals();
-            let moved = t.steals + t.deals;
-            let vs = static_cycles
-                .map(|sc| format!("{:.2}", sc as f64 / out.report.cycles as f64))
-                .unwrap_or_else(|| "-".into());
-            table.row(vec![
-                b.name(),
-                name.into(),
-                format!("{}", out.report.cycles),
-                format!("{moved}"),
-                vs,
-            ]);
-        }
+            (
+                out.report.cycles,
+                out.report.instructions(),
+                t.steals + t.deals,
+            )
+        },
+        |i, (cycles, instructions, moved)| {
+            let (bi, sched) = cells[i];
+            let b = &benches[bi];
+            if sched == "static" {
+                static_of[bi] = Some(cycles);
+                table.row(vec![
+                    b.name(),
+                    "static".into(),
+                    format!("{cycles}"),
+                    "-".into(),
+                    "1.00".into(),
+                ]);
+            } else {
+                let vs = static_of[bi]
+                    .map(|sc| format!("{:.2}", sc as f64 / cycles as f64))
+                    .unwrap_or_else(|| "-".into());
+                table.row(vec![
+                    b.name(),
+                    sched.into(),
+                    format!("{cycles}"),
+                    format!("{moved}"),
+                    vs,
+                ]);
+            }
+            golden.push(b.name(), sched, cycles, instructions, true);
+        },
+    );
+    sweep::SweepTiming {
+        cells: count,
+        jobs,
+        wall: start.elapsed(),
+        cell_time,
     }
+    .log();
     println!(
         "Scheduler-policy comparison on {} cores (moved = tasks stolen or dealt)",
         opts.cores()
     );
     println!("{table}");
+    opts.finish_golden(&golden);
 }

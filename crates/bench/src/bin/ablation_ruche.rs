@@ -2,22 +2,33 @@
 //! mesh-with-ruching; this measures what the express links buy on the
 //! Fig. 5-style hot-spot pattern and on an all-to-all pattern.
 
-use mosaic_bench::{Options, Table};
+use mosaic_bench::{sweep, Options, Table};
 use mosaic_sim::{Engine, Machine};
 use mosaic_workloads::Scale;
+use std::time::Instant;
 
 fn main() {
     let opts = Options::parse(Scale::Small, 16, 8);
+    let ruches = [0u16, 2, 3, 4];
+    let patterns = ["hotspot", "a2a"];
+
+    let count = ruches.len() * patterns.len();
+    let jobs = opts.effective_jobs(count);
     let mut table = Table::new(&["ruche", "hotspot cycles", "all-to-all cycles"]);
-    for ruche in [0u16, 2, 3, 4] {
-        let mut cycles = Vec::new();
-        for pattern in ["hotspot", "a2a"] {
+    let mut golden = opts.golden_file("ablation_ruche");
+    let start = Instant::now();
+    let mut row: Vec<u64> = Vec::new();
+    let cell_time = sweep::run_cells(
+        count,
+        jobs,
+        |i| {
+            let ruche = ruches[i / patterns.len()];
+            let pattern_is_hotspot = patterns[i % patterns.len()] == "hotspot";
             let mut mcfg = opts.machine();
             mcfg.ruche_x = ruche;
             let machine = Machine::new(mcfg);
             let map = machine.addr_map().clone();
             let cores = machine.core_count();
-            let pattern_is_hotspot = pattern == "hotspot";
             let report = Engine::run(machine, move |core| {
                 let map = map.clone();
                 Box::new(move |api| {
@@ -37,14 +48,37 @@ fn main() {
                     }
                 })
             });
-            cycles.push(report.cycles);
-        }
-        table.row(vec![
-            format!("{ruche}"),
-            format!("{}", cycles[0]),
-            format!("{}", cycles[1]),
-        ]);
+            (report.cycles, report.instructions())
+        },
+        |i, (cycles, instructions)| {
+            let ruche = ruches[i / patterns.len()];
+            let pattern = patterns[i % patterns.len()];
+            golden.push(
+                format!("ruche-{ruche}"),
+                pattern,
+                cycles,
+                instructions,
+                true,
+            );
+            row.push(cycles);
+            if row.len() == patterns.len() {
+                table.row(vec![
+                    format!("{ruche}"),
+                    format!("{}", row[0]),
+                    format!("{}", row[1]),
+                ]);
+                row.clear();
+            }
+        },
+    );
+    sweep::SweepTiming {
+        cells: count,
+        jobs,
+        wall: start.elapsed(),
+        cell_time,
     }
+    .log();
     println!("Ruche-factor ablation, {} cores", opts.cores());
     println!("{table}");
+    opts.finish_golden(&golden);
 }

@@ -2,40 +2,79 @@
 //! choice — vs round-robin vs mesh-nearest) crossed with steal amount
 //! (one task vs half the victim's queue).
 
-use mosaic_bench::{Options, Table};
+use mosaic_bench::{sweep, Options, Table};
 use mosaic_runtime::{RuntimeConfig, StealAmount, VictimPolicy};
 use mosaic_workloads::{uts, Scale};
+use std::time::Instant;
 
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
     let benches = uts::instances(opts.scale);
+    let victims = [
+        ("random", VictimPolicy::Random),
+        ("round-robin", VictimPolicy::RoundRobin),
+        ("nearest", VictimPolicy::Nearest),
+    ];
+    let amounts = [("one", StealAmount::One), ("half", StealAmount::Half)];
+
+    // Flat (bench, victim, amount) cells for the job pool.
+    let per_bench = victims.len() * amounts.len();
+    let count = benches.len() * per_bench;
+    let jobs = opts.effective_jobs(count);
     let mut table = Table::new(&["workload", "victim", "amount", "cycles", "steals", "failed"]);
-    for b in &benches {
-        for (vname, policy) in [
-            ("random", VictimPolicy::Random),
-            ("round-robin", VictimPolicy::RoundRobin),
-            ("nearest", VictimPolicy::Nearest),
-        ] {
-            for (aname, amount) in [("one", StealAmount::One), ("half", StealAmount::Half)] {
-                let cfg = RuntimeConfig {
-                    victim: policy,
-                    steal_amount: amount,
-                    ..RuntimeConfig::work_stealing()
-                };
-                let out = b.run(opts.machine(), cfg);
-                out.assert_verified();
-                let t = out.report.totals();
-                table.row(vec![
-                    b.name(),
-                    vname.into(),
-                    aname.into(),
-                    format!("{}", out.report.cycles),
-                    format!("{}", t.steals),
-                    format!("{}", t.failed_steals),
-                ]);
-            }
-        }
+    let mut golden = opts.golden_file("ablation_victim");
+    let start = Instant::now();
+    let cell_time = sweep::run_cells(
+        count,
+        jobs,
+        |i| {
+            let b = &benches[i / per_bench];
+            let (_, policy) = victims[(i % per_bench) / amounts.len()];
+            let (_, amount) = amounts[i % amounts.len()];
+            let cfg = RuntimeConfig {
+                victim: policy,
+                steal_amount: amount,
+                ..RuntimeConfig::work_stealing()
+            };
+            let out = b.run(opts.machine(), cfg);
+            out.assert_verified();
+            let t = out.report.totals();
+            (
+                out.report.cycles,
+                out.report.instructions(),
+                t.steals,
+                t.failed_steals,
+            )
+        },
+        |i, (cycles, instructions, steals, failed)| {
+            let b = &benches[i / per_bench];
+            let (vname, _) = victims[(i % per_bench) / amounts.len()];
+            let (aname, _) = amounts[i % amounts.len()];
+            table.row(vec![
+                b.name(),
+                vname.into(),
+                aname.into(),
+                format!("{cycles}"),
+                format!("{steals}"),
+                format!("{failed}"),
+            ]);
+            golden.push(
+                b.name(),
+                format!("{vname}/{aname}"),
+                cycles,
+                instructions,
+                true,
+            );
+        },
+    );
+    sweep::SweepTiming {
+        cells: count,
+        jobs,
+        wall: start.elapsed(),
+        cell_time,
     }
+    .log();
     println!("Steal-policy ablation on {} cores", opts.cores());
     println!("{table}");
+    opts.finish_golden(&golden);
 }

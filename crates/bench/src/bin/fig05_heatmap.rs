@@ -60,4 +60,13 @@ fn main() {
         bottom_mean > top_mean,
         "farther rows must see longer latency (Y-bandwidth scarcity)"
     );
+    let mut golden = opts.golden_file("fig05_heatmap");
+    golden.push(
+        "hotspot-probe",
+        "all-to-one",
+        report.cycles,
+        report.instructions(),
+        bottom_mean > top_mean,
+    );
+    opts.finish_golden(&golden);
 }

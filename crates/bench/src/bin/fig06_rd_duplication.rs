@@ -8,10 +8,11 @@
 //! 1.57x but the same kernels improve. Run with `--paper --scale full`
 //! for the strongest effect this model produces.
 
-use mosaic_bench::{Options, Table};
+use mosaic_bench::{sweep, Options, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_workloads::pagerank::{GraphKind, PageRank};
 use mosaic_workloads::{Benchmark, Scale};
+use std::time::Instant;
 
 fn main() {
     let opts = Options::parse(Scale::Small, 16, 8);
@@ -27,33 +28,60 @@ fn main() {
         seed: 0x96,
     };
     let kernels = ["K1", "K2", "K3", "K4", "K5", "K6"];
+    let variants = [false, true];
     let mut table = Table::new(&["config", "K1", "K2", "K3", "K4", "K5", "K6", "total"]);
+    let mut golden = opts.golden_file("fig06_rd_duplication");
     let mut totals = Vec::new();
-    for rd in [false, true] {
-        let cfg = RuntimeConfig {
-            rd_duplication: rd,
-            ..RuntimeConfig::work_stealing()
-        };
-        let out = pr.run(opts.machine(), cfg);
-        out.assert_verified();
-        let mut cells = vec![if rd {
-            "w/ RD".to_string()
-        } else {
-            "w/o RD".to_string()
-        }];
-        for (i, _) in kernels.iter().enumerate() {
-            let from = format!("iter0:K{}", i + 1);
-            let to = if i == 5 {
-                "iter0:end".to_string()
-            } else {
-                format!("iter0:K{}", i + 2)
+    let count = variants.len();
+    let jobs = opts.effective_jobs(count);
+    let start = Instant::now();
+    let cell_time = sweep::run_cells(
+        count,
+        jobs,
+        |i| {
+            let cfg = RuntimeConfig {
+                rd_duplication: variants[i],
+                ..RuntimeConfig::work_stealing()
             };
-            cells.push(format!("{}", out.report.span(&from, &to)));
-        }
-        cells.push(format!("{}", out.report.cycles));
-        totals.push(out.report.cycles);
-        table.row(cells);
+            let out = pr.run(opts.machine(), cfg);
+            out.assert_verified();
+            let spans: Vec<u64> = (0..kernels.len())
+                .map(|k| {
+                    let from = format!("iter0:K{}", k + 1);
+                    let to = if k == 5 {
+                        "iter0:end".to_string()
+                    } else {
+                        format!("iter0:K{}", k + 2)
+                    };
+                    out.report.span(&from, &to)
+                })
+                .collect();
+            (out.report.cycles, out.report.instructions(), spans)
+        },
+        |i, (cycles, instructions, spans)| {
+            let rd = variants[i];
+            let label = if rd { "w/ RD" } else { "w/o RD" };
+            let mut cells = vec![label.to_string()];
+            cells.extend(spans.iter().map(|s| format!("{s}")));
+            cells.push(format!("{cycles}"));
+            totals.push(cycles);
+            table.row(cells);
+            golden.push(
+                format!("PageRank-pl({n})"),
+                label,
+                cycles,
+                instructions,
+                true,
+            );
+        },
+    );
+    sweep::SweepTiming {
+        cells: count,
+        jobs,
+        wall: start.elapsed(),
+        cell_time,
     }
+    .log();
     println!(
         "Fig. 6: PageRank (email-like, n={n}) kernel times, {} cores",
         opts.cores()
@@ -63,4 +91,5 @@ fn main() {
         "read-only duplication speedup: {:.2}x (paper: 1.57x at full scale)",
         totals[0] as f64 / totals[1] as f64
     );
+    opts.finish_golden(&golden);
 }

@@ -4,10 +4,11 @@
 //! scheme ("Fib-S"). Speedups are normalized to the naive
 //! both-in-DRAM configuration, as in the paper.
 
-use mosaic_bench::{Options, Table};
+use mosaic_bench::{sweep, Options, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_workloads::fib::Fib;
 use mosaic_workloads::{Benchmark, Scale};
+use std::time::Instant;
 
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
@@ -21,29 +22,55 @@ fn main() {
         .into_iter()
         .filter(|(l, _)| l.starts_with("ws"))
         .collect();
+    let variants: [(&str, u64); 2] = [("Fib", 0), ("Fib-S", 2)];
 
     let mut table = Table::new(&["variant", "config", "cycles", "speedup", "overflows"]);
-    for (variant, penalty) in [("Fib", 0u64), ("Fib-S", 2)] {
-        let mut machine = opts.machine();
-        machine.sw_overflow_penalty = penalty;
-        let mut baseline = None;
-        for (label, cfg) in &ws_configs {
-            let out = fib.run(machine.clone(), cfg.clone());
+    let mut golden = opts.golden_file("fig07_fib_microbench");
+    let count = variants.len() * ws_configs.len();
+    let jobs = opts.effective_jobs(count);
+    let start = Instant::now();
+    let mut baseline = 0u64;
+    let cell_time = sweep::run_cells(
+        count,
+        jobs,
+        |i| {
+            let mut machine = opts.machine();
+            machine.sw_overflow_penalty = variants[i / ws_configs.len()].1;
+            let out = fib.run(machine, ws_configs[i % ws_configs.len()].1.clone());
             out.assert_verified();
-            let cycles = out.report.cycles;
-            let base = *baseline.get_or_insert(cycles);
+            (
+                out.report.cycles,
+                out.report.instructions(),
+                out.report.totals().stack_overflows,
+            )
+        },
+        |i, (cycles, instructions, overflows)| {
+            let (variant, _) = variants[i / ws_configs.len()];
+            let (label, _) = ws_configs[i % ws_configs.len()];
+            if i % ws_configs.len() == 0 {
+                baseline = cycles;
+            }
             table.row(vec![
                 variant.into(),
                 label.to_string(),
                 format!("{cycles}"),
-                format!("{:.2}x", base as f64 / cycles as f64),
-                format!("{}", out.report.totals().stack_overflows),
+                format!("{:.2}x", baseline as f64 / cycles as f64),
+                format!("{overflows}"),
             ]);
-        }
+            golden.push(format!("{variant}({n})"), label, cycles, instructions, true);
+        },
+    );
+    sweep::SweepTiming {
+        cells: count,
+        jobs,
+        wall: start.elapsed(),
+        cell_time,
     }
+    .log();
     println!(
         "Fig. 7: fib({n}) on {} cores; speedup normalized to ws/dram-stack/dram-q",
         opts.cores()
     );
     println!("{table}");
+    opts.finish_golden(&golden);
 }

@@ -17,7 +17,9 @@ fn main() {
         opts.scale,
         opts.cores()
     );
-    let rows = sweep::table1_sweep(opts.scale, &opts.machine());
+    let cells =
+        mosaic_workloads::table1_benchmarks(opts.scale).len() * RuntimeConfig::table1_sweep().len();
+    let rows = sweep::table1_sweep_jobs(opts.scale, &opts.machine(), opts.effective_jobs(cells));
     let configs: Vec<&str> = RuntimeConfig::table1_sweep()
         .iter()
         .map(|(l, _)| *l)
@@ -41,4 +43,8 @@ fn main() {
     }
     println!("Fig. 9: speedup over static/spm-stack (higher is better)");
     println!("{table}");
+
+    let mut golden = opts.golden_file("fig09_speedup");
+    golden.push_sweep(&rows);
+    opts.finish_golden(&golden);
 }

@@ -3,9 +3,10 @@
 //! work-stealing variants, normalized to both-stack-and-queue-in-SPM
 //! as in the paper (note the paper's X axis starts at 0.5).
 
-use mosaic_bench::{Options, Table};
+use mosaic_bench::{sweep, Options, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_workloads::{cilksort, mattrans, Scale};
+use std::time::Instant;
 
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
@@ -19,23 +20,47 @@ fn main() {
     let mut header = vec!["workload"];
     header.extend(ws_configs.iter().map(|(l, _)| *l));
     let mut table = Table::new(&header);
-    for b in &benches {
-        let mut cycles = Vec::new();
-        for (_, cfg) in &ws_configs {
+    let mut golden = opts.golden_file("fig10_dynamic");
+
+    let count = benches.len() * ws_configs.len();
+    let jobs = opts.effective_jobs(count);
+    let start = Instant::now();
+    let mut row: Vec<(u64, u64)> = Vec::new();
+    let cell_time = sweep::run_cells(
+        count,
+        jobs,
+        |i| {
+            let b = &benches[i / ws_configs.len()];
+            let (_, cfg) = &ws_configs[i % ws_configs.len()];
             let out = b.run(opts.machine(), cfg.clone());
             out.assert_verified();
-            cycles.push(out.report.cycles);
-        }
-        let best = cycles[3]; // ws/spm-stack/spm-q is last in sweep order
-        let mut cells = vec![b.name()];
-        for cy in &cycles {
-            cells.push(format!("{:.2}", best as f64 / *cy as f64));
-        }
-        table.row(cells);
+            (out.report.cycles, out.report.instructions())
+        },
+        |i, r| {
+            row.push(r);
+            if row.len() == ws_configs.len() {
+                let b = &benches[i / ws_configs.len()];
+                let best = row[3].0; // ws/spm-stack/spm-q is last in sweep order
+                let mut cells = vec![b.name()];
+                for ((label, _), (cycles, instructions)) in ws_configs.iter().zip(row.drain(..)) {
+                    cells.push(format!("{:.2}", best as f64 / cycles as f64));
+                    golden.push(b.name(), *label, cycles, instructions, true);
+                }
+                table.row(cells);
+            }
+        },
+    );
+    sweep::SweepTiming {
+        cells: count,
+        jobs,
+        wall: start.elapsed(),
+        cell_time,
     }
+    .log();
     println!(
         "Fig. 10: speedup normalized to ws/spm-stack/spm-q, {} cores",
         opts.cores()
     );
     println!("{table}");
+    opts.finish_golden(&golden);
 }

@@ -6,7 +6,7 @@
 //! Work-stealing with both the stack and the task queue in SPM, as in
 //! the paper.
 
-use mosaic_bench::{Options, Table};
+use mosaic_bench::{sweep, Options, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_sim::MachineConfig;
 use mosaic_workloads::{
@@ -20,6 +20,7 @@ use mosaic_workloads::{
     spmv::{MatrixKind, SpMV},
     Benchmark, Scale,
 };
+use std::time::Instant;
 
 fn main() {
     let opts = Options::parse(Scale::Small, 16, 8);
@@ -80,20 +81,59 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&header_refs);
 
-    for b in &benches {
-        eprintln!("scaling {}...", b.name());
-        let mut t1 = 0u64;
-        let mut cells = vec![b.name()];
-        for &(c, r) in &grids {
+    // Flat (benchmark, grid) cells; every cell is an independent
+    // simulation, so they run on the harness job pool.
+    let cell_of = |i: usize| (&benches[i / grids.len()], grids[i % grids.len()]);
+    let count = benches.len() * grids.len();
+    let jobs = opts.effective_jobs(count);
+    let start = Instant::now();
+    let mut golden = opts.golden_file("fig11_scaling");
+    let mut row_cells: Vec<String> = Vec::new();
+    let mut t1 = 0u64;
+    let cell_time = sweep::run_cells(
+        count,
+        jobs,
+        |i| {
+            let (b, (c, r)) = cell_of(i);
             let out = b.run(MachineConfig::small(c, r), RuntimeConfig::work_stealing());
-            out.assert_verified();
-            if c as usize * r as usize == 1 {
-                t1 = out.report.cycles;
+            (out.report.cycles, out.report.instructions(), out.verified)
+        },
+        |i, (cycles, instructions, verified)| {
+            let (b, (c, r)) = cell_of(i);
+            let cores = c as usize * r as usize;
+            assert!(
+                verified,
+                "{} failed verification at {cores} cores",
+                b.name()
+            );
+            if i % grids.len() == 0 {
+                eprintln!("scaling {}...", b.name());
+                row_cells.push(b.name());
             }
-            cells.push(format!("{:.1}", t1 as f64 / out.report.cycles as f64));
-        }
-        table.row(cells);
+            if cores == 1 {
+                t1 = cycles;
+            }
+            row_cells.push(format!("{:.1}", t1 as f64 / cycles as f64));
+            if i % grids.len() == grids.len() - 1 {
+                table.row(std::mem::take(&mut row_cells));
+            }
+            golden.push(
+                b.name(),
+                format!("{cores}c"),
+                cycles,
+                instructions,
+                verified,
+            );
+        },
+    );
+    sweep::SweepTiming {
+        cells: count,
+        jobs,
+        wall: start.elapsed(),
+        cell_time,
     }
+    .log();
     println!("Fig. 11: speedup over one core (work-stealing, stack+queue in SPM)");
     println!("{table}");
+    opts.finish_golden(&golden);
 }

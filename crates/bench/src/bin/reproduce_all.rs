@@ -4,6 +4,13 @@
 //! ```sh
 //! cargo run --release -p mosaic-bench --bin reproduce_all -- --scale small
 //! ```
+//!
+//! All flags are passed through to each harness, so
+//! `reproduce_all --scale tiny --check-golden --jobs 2` verifies the
+//! whole reproduction against the committed golden numbers, and
+//! `--write-golden` re-blesses them. Failures (including golden
+//! mismatches) are collected and reported together at the end instead
+//! of aborting on the first one.
 
 use std::process::Command;
 
@@ -29,20 +36,37 @@ fn main() {
         .parent()
         .expect("bin dir")
         .to_path_buf();
+    let mut failures: Vec<String> = Vec::new();
     for bin in bins {
         eprintln!("==> {bin}");
-        let out = Command::new(exe_dir.join(bin))
-            .args(&passthrough)
-            .output()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(
-            out.status.success(),
-            "{bin} failed:\n{}",
-            String::from_utf8_lossy(&out.stderr)
-        );
+        let out = match Command::new(exe_dir.join(bin)).args(&passthrough).output() {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("    FAILED to launch: {e}");
+                failures.push(format!("{bin}: failed to launch ({e})"));
+                continue;
+            }
+        };
+        if !out.status.success() {
+            eprintln!(
+                "    FAILED ({}):\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            );
+            failures.push(format!("{bin}: exit {}", out.status));
+            continue;
+        }
         let path = format!("results/{bin}.txt");
         std::fs::write(&path, &out.stdout).expect("write result");
         eprintln!("    wrote {path}");
     }
-    eprintln!("all experiments reproduced under results/");
+    if failures.is_empty() {
+        eprintln!("all experiments reproduced under results/");
+    } else {
+        eprintln!("{} of {} experiments FAILED:", failures.len(), bins.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }

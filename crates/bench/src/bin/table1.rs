@@ -18,7 +18,9 @@ fn main() {
         opts.cols,
         opts.rows
     );
-    let rows = sweep::table1_sweep(opts.scale, &opts.machine());
+    let cells =
+        mosaic_workloads::table1_benchmarks(opts.scale).len() * RuntimeConfig::table1_sweep().len();
+    let rows = sweep::table1_sweep_jobs(opts.scale, &opts.machine(), opts.effective_jobs(cells));
 
     let configs: Vec<&str> = RuntimeConfig::table1_sweep()
         .iter()
@@ -60,4 +62,8 @@ fn main() {
         }
     );
     assert!(all_verified);
+
+    let mut golden = opts.golden_file("table1");
+    golden.push_sweep(&rows);
+    opts.finish_golden(&golden);
 }

@@ -37,4 +37,13 @@ fn main() {
         "wrote results/trace.json ({} events) — open in ui.perfetto.dev",
         r.trace.len()
     );
+    let mut golden = opts.golden_file("trace_run");
+    golden.push(
+        bench.name(),
+        "ws/trace",
+        r.cycles,
+        r.instructions(),
+        out.verified,
+    );
+    opts.finish_golden(&golden);
 }

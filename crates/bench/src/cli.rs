@@ -1,8 +1,24 @@
 //! Minimal argument parsing shared by the harness binaries (no
-//! external CLI dependency needed for `--scale/--cols/--rows`).
+//! external CLI dependency needed for `--scale/--cols/--rows/--jobs`
+//! and the golden-number modes).
 
+use crate::golden::{self, GoldenFile};
 use mosaic_sim::MachineConfig;
 use mosaic_workloads::Scale;
+
+/// What to do with golden (committed reference) numbers this run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GoldenMode {
+    /// Just run; don't read or write goldens.
+    #[default]
+    Run,
+    /// After running, diff against the committed golden file and exit
+    /// nonzero on any difference (`--check-golden`).
+    Check,
+    /// After running, (re)write the golden file — "blessing" the
+    /// current numbers (`--write-golden`).
+    Write,
+}
 
 /// Common harness options.
 #[derive(Debug, Clone, Copy)]
@@ -13,13 +29,19 @@ pub struct Options {
     pub cols: u16,
     /// Mesh core rows.
     pub rows: u16,
+    /// Host threads for independent simulation cells (`--jobs`);
+    /// `None` = pick a default from the host/machine core counts.
+    pub jobs: Option<usize>,
+    /// Golden-number mode.
+    pub golden: GoldenMode,
 }
 
 impl Options {
     /// Parse from `std::env::args`, with the given defaults.
     ///
     /// Recognized flags: `--scale tiny|small|full`, `--cols N`,
-    /// `--rows N`, `--paper` (16x8 like the paper), `--help`.
+    /// `--rows N`, `--paper` (16x8 like the paper), `--jobs N`,
+    /// `--check-golden`, `--write-golden`, `--help`.
     ///
     /// # Panics
     ///
@@ -29,6 +51,8 @@ impl Options {
             scale: default_scale,
             cols: default_cols,
             rows: default_rows,
+            jobs: None,
+            golden: GoldenMode::Run,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -60,11 +84,24 @@ impl Options {
                     opts.cols = 16;
                     opts.rows = 8;
                 }
+                "--jobs" => {
+                    let n: usize = args
+                        .next()
+                        .expect("--jobs needs a value")
+                        .parse()
+                        .expect("--jobs must be an integer");
+                    opts.jobs = Some(n.max(1));
+                }
+                "--check-golden" => opts.golden = GoldenMode::Check,
+                "--write-golden" => opts.golden = GoldenMode::Write,
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale tiny|small|full   input sizes\n         \
                          --cols N --rows N          mesh dimensions\n         \
-                         --paper                    16x8 = 128 cores (paper machine)"
+                         --paper                    16x8 = 128 cores (paper machine)\n         \
+                         --jobs N                   host threads for independent cells\n         \
+                         --check-golden             verify against results/golden/ (exit 1 on drift)\n         \
+                         --write-golden             re-bless results/golden/ with this run"
                     );
                     std::process::exit(0);
                 }
@@ -82,5 +119,67 @@ impl Options {
     /// Core count.
     pub fn cores(&self) -> usize {
         self.cols as usize * self.rows as usize
+    }
+
+    /// The scale's lowercase name (golden file names, headers).
+    pub fn scale_name(&self) -> &'static str {
+        match self.scale {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Host threads to use for a sweep of `cells` independent cells:
+    /// `--jobs` if given, else `min(host_cores / threads_per_run,
+    /// cells)` with a floor of 1 — each simulation already spawns one
+    /// OS thread per simulated core, so the pool stays bounded by the
+    /// host, not oversubscribed by it.
+    pub fn effective_jobs(&self, cells: usize) -> usize {
+        let cells = cells.max(1);
+        match self.jobs {
+            Some(n) => n.max(1),
+            None => {
+                let host = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                (host / self.machine().host_threads_per_run()).clamp(1, cells)
+            }
+        }
+    }
+
+    /// An empty golden file tagged with this run's experiment name,
+    /// scale, and machine shape.
+    pub fn golden_file(&self, experiment: &str) -> GoldenFile {
+        GoldenFile::new(experiment, self.scale_name(), self.cols, self.rows)
+    }
+
+    /// Apply the golden mode to a completed run's numbers: no-op in
+    /// [`GoldenMode::Run`], write the file under `results/golden/` in
+    /// [`GoldenMode::Write`], diff against the committed file in
+    /// [`GoldenMode::Check`].
+    ///
+    /// In check mode a difference (or a missing golden file) prints a
+    /// per-cell diff table to stderr and exits the process with status
+    /// 1.
+    pub fn finish_golden(&self, fresh: &GoldenFile) {
+        match self.golden {
+            GoldenMode::Run => {}
+            GoldenMode::Write => {
+                let path = golden::write(fresh).expect("write golden file");
+                eprintln!("blessed {path}");
+            }
+            GoldenMode::Check => match golden::check(fresh) {
+                Ok(cells) => eprintln!(
+                    "golden check ok: {} cells match {}",
+                    cells,
+                    fresh.file_name()
+                ),
+                Err(report) => {
+                    eprintln!("{report}");
+                    std::process::exit(1);
+                }
+            },
+        }
     }
 }

@@ -1,0 +1,608 @@
+//! Golden-number regression subsystem.
+//!
+//! Every reproduction binary can serialize its results as
+//! machine-readable JSON under [`GOLDEN_DIR`] (one file per
+//! experiment × scale × machine shape) and later *verify* a fresh run
+//! against the committed file with **exact equality** — the simulator
+//! is bit-deterministic, so any cycle drift is a real behavior change,
+//! not noise. A failed check renders a per-cell diff table and exits
+//! nonzero, which is what turns `reproduce_all --check-golden` into a
+//! CI reproduction gate.
+//!
+//! The JSON codec is hand-rolled (the build container cannot fetch
+//! serde): a strict writer plus a small recursive-descent parser that
+//! accepts exactly what the writer emits (objects, arrays, strings,
+//! unsigned integers, booleans).
+
+use crate::table::Table;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory (relative to the repo root) holding committed goldens.
+pub const GOLDEN_DIR: &str = "results/golden";
+
+/// One measured cell: a (workload, config) point and its exact counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenCell {
+    /// Workload display name (e.g. `PR-email`).
+    pub workload: String,
+    /// Configuration label (e.g. `ws/spm-stack/spm-q`, or an
+    /// experiment-specific axis like `64c` for scaling columns).
+    pub config: String,
+    /// Simulated cycles (exact).
+    pub cycles: u64,
+    /// Dynamic instructions (exact).
+    pub instructions: u64,
+    /// Whether the run verified against the host reference.
+    pub verified: bool,
+}
+
+/// All cells of one experiment at one scale on one machine shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenFile {
+    /// Experiment name (the binary name, e.g. `table1`).
+    pub experiment: String,
+    /// Scale preset name (`tiny`/`small`/`full`).
+    pub scale: String,
+    /// Mesh columns of the simulated machine.
+    pub cols: u16,
+    /// Mesh core rows of the simulated machine.
+    pub rows: u16,
+    /// Measured cells, in deterministic experiment order.
+    pub cells: Vec<GoldenCell>,
+}
+
+impl GoldenFile {
+    /// An empty golden file with the given identity.
+    pub fn new(experiment: &str, scale: &str, cols: u16, rows: u16) -> Self {
+        GoldenFile {
+            experiment: experiment.to_string(),
+            scale: scale.to_string(),
+            cols,
+            rows,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append one measured cell.
+    pub fn push(
+        &mut self,
+        workload: impl Into<String>,
+        config: impl Into<String>,
+        cycles: u64,
+        instructions: u64,
+        verified: bool,
+    ) {
+        self.cells.push(GoldenCell {
+            workload: workload.into(),
+            config: config.into(),
+            cycles,
+            instructions,
+            verified,
+        });
+    }
+
+    /// Append every cell of a Table-1-style sweep, in sweep order.
+    pub fn push_sweep(&mut self, rows: &[crate::sweep::SweepRow]) {
+        for row in rows {
+            for r in row.results.iter().flatten() {
+                self.push(&row.name, r.config, r.cycles, r.instructions, r.verified);
+            }
+        }
+    }
+
+    /// The canonical file name: `{experiment}_{scale}_{cols}x{rows}.json`.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}_{}_{}x{}.json",
+            self.experiment, self.scale, self.cols, self.rows
+        )
+    }
+
+    /// Serialize to the canonical JSON form (stable key order, one cell
+    /// per line, trailing newline) so files diff cleanly in review.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"experiment\": {},", json_string(&self.experiment));
+        let _ = writeln!(s, "  \"scale\": {},", json_string(&self.scale));
+        let _ = writeln!(
+            s,
+            "  \"machine\": {{\"cols\": {}, \"rows\": {}}},",
+            self.cols, self.rows
+        );
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"workload\": {}, \"config\": {}, \"cycles\": {}, \"instructions\": {}, \"verified\": {}}}",
+                json_string(&c.workload),
+                json_string(&c.config),
+                c.cycles,
+                c.instructions,
+                c.verified
+            );
+            s.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse the canonical JSON form back.
+    pub fn parse(text: &str) -> Result<GoldenFile, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object("top level")?;
+        let machine = obj.get("machine", "top level")?.as_object("machine")?;
+        let mut file = GoldenFile {
+            experiment: obj.get("experiment", "top level")?.as_string()?,
+            scale: obj.get("scale", "top level")?.as_string()?,
+            cols: machine.get("cols", "machine")?.as_u64()? as u16,
+            rows: machine.get("rows", "machine")?.as_u64()? as u16,
+            cells: Vec::new(),
+        };
+        for (i, cell) in obj
+            .get("cells", "top level")?
+            .as_array("cells")?
+            .iter()
+            .enumerate()
+        {
+            let c = cell.as_object(&format!("cells[{i}]"))?;
+            file.cells.push(GoldenCell {
+                workload: c.get("workload", "cell")?.as_string()?,
+                config: c.get("config", "cell")?.as_string()?,
+                cycles: c.get("cycles", "cell")?.as_u64()?,
+                instructions: c.get("instructions", "cell")?.as_u64()?,
+                verified: c.get("verified", "cell")?.as_bool()?,
+            });
+        }
+        Ok(file)
+    }
+
+    /// Cell-by-cell differences of `fresh` against `self` (the
+    /// committed golden), as diff-table rows. Empty means identical.
+    pub fn diff(&self, fresh: &GoldenFile) -> Vec<[String; 5]> {
+        let mut out = Vec::new();
+        let mut meta = |field: &str, golden: String, fresh: String| {
+            if golden != fresh {
+                out.push([
+                    "-".to_string(),
+                    "-".to_string(),
+                    field.to_string(),
+                    golden,
+                    fresh,
+                ]);
+            }
+        };
+        meta(
+            "experiment",
+            self.experiment.clone(),
+            fresh.experiment.clone(),
+        );
+        meta("scale", self.scale.clone(), fresh.scale.clone());
+        meta(
+            "machine",
+            format!("{}x{}", self.cols, self.rows),
+            format!("{}x{}", fresh.cols, fresh.rows),
+        );
+
+        let key = |c: &GoldenCell| (c.workload.clone(), c.config.clone());
+        let fresh_by_key: std::collections::HashMap<_, _> =
+            fresh.cells.iter().map(|c| (key(c), c)).collect();
+        let golden_keys: std::collections::HashSet<_> = self.cells.iter().map(key).collect();
+
+        for g in &self.cells {
+            match fresh_by_key.get(&key(g)) {
+                None => out.push([
+                    g.workload.clone(),
+                    g.config.clone(),
+                    "cell".into(),
+                    "present".into(),
+                    "MISSING".into(),
+                ]),
+                Some(f) => {
+                    let mut field = |name: &str, gv: String, fv: String| {
+                        if gv != fv {
+                            out.push([g.workload.clone(), g.config.clone(), name.into(), gv, fv]);
+                        }
+                    };
+                    field("cycles", g.cycles.to_string(), f.cycles.to_string());
+                    field(
+                        "instructions",
+                        g.instructions.to_string(),
+                        f.instructions.to_string(),
+                    );
+                    field("verified", g.verified.to_string(), f.verified.to_string());
+                }
+            }
+        }
+        for f in &fresh.cells {
+            if !golden_keys.contains(&key(f)) {
+                out.push([
+                    f.workload.clone(),
+                    f.config.clone(),
+                    "cell".into(),
+                    "MISSING".into(),
+                    "present".into(),
+                ]);
+            }
+        }
+        out
+    }
+}
+
+/// Write `fresh` under [`GOLDEN_DIR`]; returns the path written.
+pub fn write(fresh: &GoldenFile) -> std::io::Result<String> {
+    write_in(Path::new(GOLDEN_DIR), fresh)
+}
+
+/// Write `fresh` under an explicit directory; returns the path written.
+pub fn write_in(dir: &Path, fresh: &GoldenFile) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(fresh.file_name());
+    std::fs::write(&path, fresh.to_json())?;
+    Ok(path.display().to_string())
+}
+
+/// Check `fresh` against the committed golden under [`GOLDEN_DIR`].
+/// `Ok(cells)` on an exact match; `Err(report)` with a rendered diff
+/// table (or load error) otherwise.
+pub fn check(fresh: &GoldenFile) -> Result<usize, String> {
+    check_in(Path::new(GOLDEN_DIR), fresh)
+}
+
+/// Check `fresh` against the golden in an explicit directory.
+pub fn check_in(dir: &Path, fresh: &GoldenFile) -> Result<usize, String> {
+    let path: PathBuf = dir.join(fresh.file_name());
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "golden check FAILED: cannot read {} ({e}); run with --write-golden to bless",
+            path.display()
+        )
+    })?;
+    let golden = GoldenFile::parse(&text)
+        .map_err(|e| format!("golden check FAILED: {} is malformed: {e}", path.display()))?;
+    let diffs = golden.diff(fresh);
+    if diffs.is_empty() {
+        return Ok(golden.cells.len());
+    }
+    let mut table = Table::new(&["workload", "config", "field", "golden", "fresh"]);
+    for d in &diffs {
+        table.row(d.to_vec());
+    }
+    Err(format!(
+        "golden check FAILED: {} differs from {} in {} cell field(s):\n{}\
+         (if this change is intentional, re-bless with --write-golden)",
+        "fresh run",
+        path.display(),
+        diffs.len(),
+        table.render()
+    ))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value tree for the golden file grammar.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(u64),
+    Bool(bool),
+}
+
+/// Field access helpers with error context.
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self, what: &str) -> Result<ObjectView<'_>, String> {
+        match self {
+            Json::Object(fields) => Ok(ObjectView(fields)),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(a) => Ok(a),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_string(&self) -> Result<String, String> {
+        match self {
+            Json::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+/// A borrowed view over `Json::Object` fields adding keyed lookup.
+#[derive(Clone, Copy)]
+struct ObjectView<'a>(&'a [(String, Json)]);
+
+impl ObjectView<'_> {
+    fn get(&self, name: &str, what: &str) -> Result<&Json, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("{what}: missing field {name:?}"))
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {} (found {:?})",
+            ch as char,
+            *pos,
+            b.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::String(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .unwrap()
+                .parse()
+                .map(Json::Number)
+                .map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+        other => Err(format!("unexpected {other:?} at byte {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape".to_string())?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let ch_len = utf8_len(c);
+                let chunk = b
+                    .get(*pos..*pos + ch_len)
+                    .ok_or("truncated UTF-8".to_string())?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GoldenFile {
+        let mut g = GoldenFile::new("table1", "tiny", 8, 4);
+        g.push("MatMul-48", "static/spm-stack", 12345, 6789, true);
+        g.push("PR-\"email\"", "ws/spm-stack/spm-q", 999, 888, true);
+        g
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let g = sample();
+        let parsed = GoldenFile::parse(&g.to_json()).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn file_name_encodes_identity() {
+        assert_eq!(sample().file_name(), "table1_tiny_8x4.json");
+    }
+
+    #[test]
+    fn identical_files_have_no_diff() {
+        assert!(sample().diff(&sample()).is_empty());
+    }
+
+    #[test]
+    fn cycle_drift_is_reported_per_cell() {
+        let golden = sample();
+        let mut fresh = sample();
+        fresh.cells[0].cycles += 1;
+        let d = golden.diff(&fresh);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0][2], "cycles");
+        assert_eq!(d[0][3], "12345");
+        assert_eq!(d[0][4], "12346");
+    }
+
+    #[test]
+    fn missing_and_extra_cells_are_reported() {
+        let golden = sample();
+        let mut fresh = sample();
+        fresh.cells.remove(0);
+        fresh.push("NewBench", "ws/spm-stack/spm-q", 1, 1, true);
+        let d = golden.diff(&fresh);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|r| r[4] == "MISSING"));
+        assert!(d.iter().any(|r| r[3] == "MISSING"));
+    }
+
+    #[test]
+    fn check_in_write_in_round_trip() {
+        let dir = std::env::temp_dir().join(format!("golden-test-{}", std::process::id()));
+        let g = sample();
+        write_in(&dir, &g).unwrap();
+        assert_eq!(check_in(&dir, &g), Ok(2));
+        let mut drift = g.clone();
+        drift.cells[1].instructions = 0;
+        let err = check_in(&dir, &drift).unwrap_err();
+        assert!(err.contains("instructions"), "{err}");
+        assert!(err.contains("888"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_golden_file_is_a_check_failure() {
+        let dir = std::env::temp_dir().join("golden-test-nonexistent-dir");
+        let err = check_in(&dir, &sample()).unwrap_err();
+        assert!(err.contains("--write-golden"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(GoldenFile::parse("{").is_err());
+        assert!(GoldenFile::parse("{}").is_err());
+        assert!(GoldenFile::parse("[1, 2]").is_err());
+    }
+}

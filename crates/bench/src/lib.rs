@@ -22,9 +22,11 @@
 //! are calibration diagnostics, not paper experiments.
 
 pub mod cli;
+pub mod golden;
 pub mod sweep;
 pub mod table;
 
-pub use cli::Options;
-pub use sweep::{run_sweep, ConfigResult, SweepRow};
+pub use cli::{GoldenMode, Options};
+pub use golden::{GoldenCell, GoldenFile};
+pub use sweep::{run_cells, run_sweep, run_sweep_jobs, ConfigResult, SweepRow, SweepTiming};
 pub use table::Table;

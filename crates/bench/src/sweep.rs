@@ -1,12 +1,31 @@
 //! Shared sweep driver: run benchmark instances across the six
-//! Table-1 runtime configurations (used by `table1` and `fig09`).
+//! Table-1 runtime configurations (used by `table1` and `fig09`), on a
+//! bounded pool of host threads.
+//!
+//! ## Parallel execution model
+//!
+//! Every `mosaic-sim` run is deterministic and fully self-contained (no
+//! process-global state), so distinct (benchmark, config) cells can run
+//! on different host threads without changing any simulated number. The
+//! driver enumerates all cells up front, executes them on a bounded
+//! pool ([`run_cells`]), and *collects results in deterministic cell
+//! order* — progress callbacks fire in exactly the order the old serial
+//! driver used, so all output (tables, golden JSON, progress lines) is
+//! bit-identical for any `--jobs` value. The pool is bounded because
+//! each simulation itself spawns one OS thread per simulated core (see
+//! [`MachineConfig::host_threads_per_run`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use mosaic_runtime::RuntimeConfig;
 use mosaic_sim::MachineConfig;
 use mosaic_workloads::{Benchmark, Scale};
 
 /// One (workload, config) measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigResult {
     /// Config label from [`RuntimeConfig::table1_sweep`].
     pub config: &'static str,
@@ -19,7 +38,7 @@ pub struct ConfigResult {
 }
 
 /// One benchmark across all configurations.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepRow {
     /// Benchmark display name.
     pub name: String,
@@ -52,51 +71,218 @@ impl SweepRow {
     }
 }
 
+/// Host-side timing of one sweep, for the harness speedup line.
+#[derive(Debug, Clone)]
+pub struct SweepTiming {
+    /// Cells actually simulated (skipped static cells not counted).
+    pub cells: usize,
+    /// Host threads the pool used.
+    pub jobs: usize,
+    /// End-to-end wall-clock of the sweep.
+    pub wall: Duration,
+    /// Sum of per-cell host times (serial-equivalent work).
+    pub cell_time: Duration,
+}
+
+impl SweepTiming {
+    /// `cell_time / wall`: how many cells effectively ran at once.
+    pub fn effective_parallelism(&self) -> f64 {
+        if self.wall.is_zero() {
+            return self.jobs as f64;
+        }
+        self.cell_time.as_secs_f64() / self.wall.as_secs_f64()
+    }
+
+    /// Log the timing line to stderr (stable, greppable format used by
+    /// `BENCH_*.json` snapshots to track harness speedup).
+    pub fn log(&self) {
+        eprintln!(
+            "harness: {} cells in {:.2}s wall ({:.2}s cell time, {:.2}x effective parallelism, jobs={})",
+            self.cells,
+            self.wall.as_secs_f64(),
+            self.cell_time.as_secs_f64(),
+            self.effective_parallelism(),
+            self.jobs,
+        );
+    }
+}
+
+/// Run `count` independent jobs on at most `jobs` host threads and
+/// deliver results **in index order** through `collect`.
+///
+/// `f(i)` must be a pure function of `i` (all Mosaic simulations are);
+/// `collect(i, result)` is called from the current thread for
+/// `i = 0, 1, .., count-1` exactly in that order, so any output it
+/// produces is identical whatever `jobs` is. Returns the summed
+/// per-job host time.
+///
+/// # Panics
+///
+/// Propagates a panic from any job.
+pub fn run_cells<T, F>(
+    count: usize,
+    jobs: usize,
+    f: F,
+    mut collect: impl FnMut(usize, T),
+) -> Duration
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut cell_time = Duration::ZERO;
+    if count == 0 {
+        return cell_time;
+    }
+    let jobs = jobs.clamp(1, count);
+    if jobs == 1 {
+        // Serial fast path: no pool, same order.
+        for i in 0..count {
+            let start = Instant::now();
+            let r = f(i);
+            cell_time += start.elapsed();
+            collect(i, r);
+        }
+        return cell_time;
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T, Duration)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                let start = Instant::now();
+                let r = f(i);
+                // The receiver only disconnects if the main thread is
+                // already panicking; nothing useful to do then.
+                let _ = tx.send((i, r, start.elapsed()));
+            });
+        }
+        drop(tx);
+
+        // Reorder buffer: deliver strictly by index so downstream
+        // output is byte-identical to the serial path.
+        let mut pending: HashMap<usize, (T, Duration)> = HashMap::new();
+        let mut want = 0;
+        while want < count {
+            if let Some((r, dt)) = pending.remove(&want) {
+                cell_time += dt;
+                collect(want, r);
+                want += 1;
+                continue;
+            }
+            match rx.recv() {
+                Ok((i, r, dt)) => {
+                    pending.insert(i, (r, dt));
+                }
+                Err(_) => panic!("sweep worker thread died (job panicked)"),
+            }
+        }
+    });
+    cell_time
+}
+
 /// Run every Table-1 benchmark at `scale` on `machine` across all six
-/// configurations, calling `progress` after each run.
+/// configurations serially, calling `progress` after each run.
+///
+/// Kept as the compatibility entry point; use [`run_sweep_jobs`] to
+/// parallelize across host threads.
 pub fn run_sweep(
     benches: &[Box<dyn Benchmark>],
     machine: &MachineConfig,
-    mut progress: impl FnMut(&str, &str, &ConfigResult),
+    progress: impl FnMut(&str, &str, &ConfigResult),
 ) -> Vec<SweepRow> {
+    run_sweep_jobs(benches, machine, 1, progress).0
+}
+
+/// Like [`run_sweep`], but executes the (benchmark, config) cells on up
+/// to `jobs` host threads. Output is bit-identical for every `jobs`
+/// value; `progress` still fires in deterministic cell order.
+pub fn run_sweep_jobs(
+    benches: &[Box<dyn Benchmark>],
+    machine: &MachineConfig,
+    jobs: usize,
+    mut progress: impl FnMut(&str, &str, &ConfigResult),
+) -> (Vec<SweepRow>, SweepTiming) {
     let configs = RuntimeConfig::table1_sweep();
-    let mut rows = Vec::new();
-    for b in benches {
-        let mut results = Vec::new();
-        for (label, cfg) in &configs {
+
+    // Enumerate runnable cells up front; static configs without a
+    // baseline stay `None` without occupying a job slot.
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for (bi, b) in benches.iter().enumerate() {
+        for (ci, (label, _)) in configs.iter().enumerate() {
             if label.starts_with("static") && !b.has_static_baseline() {
-                results.push(None);
                 continue;
             }
-            let out = b.run(machine.clone(), cfg.clone());
-            let r = ConfigResult {
+            cells.push((bi, ci));
+        }
+    }
+
+    let mut rows: Vec<SweepRow> = benches
+        .iter()
+        .map(|b| SweepRow {
+            name: b.name(),
+            category: b.category().abbrev(),
+            has_static_baseline: b.has_static_baseline(),
+            results: vec![None; configs.len()],
+        })
+        .collect();
+
+    let jobs = jobs.max(1);
+    let start = Instant::now();
+    let cell_time = run_cells(
+        cells.len(),
+        jobs,
+        |i| {
+            let (bi, ci) = cells[i];
+            let (label, cfg) = &configs[ci];
+            let out = benches[bi].run(machine.clone(), cfg.clone());
+            ConfigResult {
                 config: label,
                 cycles: out.report.cycles,
                 instructions: out.report.instructions(),
                 verified: out.verified,
-            };
-            progress(&b.name(), label, &r);
-            results.push(Some(r));
-        }
-        rows.push(SweepRow {
-            name: b.name(),
-            category: b.category().abbrev(),
-            has_static_baseline: b.has_static_baseline(),
-            results,
-        });
-    }
-    rows
+            }
+        },
+        |i, r| {
+            let (bi, ci) = cells[i];
+            progress(&rows[bi].name, r.config, &r);
+            rows[bi].results[ci] = Some(r);
+        },
+    );
+    let timing = SweepTiming {
+        cells: cells.len(),
+        jobs,
+        wall: start.elapsed(),
+        cell_time,
+    };
+    (rows, timing)
 }
 
-/// Convenience: the full Table-1 sweep at a scale.
-pub fn table1_sweep(scale: Scale, machine: &MachineConfig) -> Vec<SweepRow> {
+/// Convenience: the full Table-1 sweep at a scale on `jobs` host
+/// threads, with the standard progress line and the harness timing
+/// line on stderr.
+pub fn table1_sweep_jobs(scale: Scale, machine: &MachineConfig, jobs: usize) -> Vec<SweepRow> {
     let benches = mosaic_workloads::table1_benchmarks(scale);
-    run_sweep(&benches, machine, |name, cfg, r| {
+    let (rows, timing) = run_sweep_jobs(&benches, machine, jobs, |name, cfg, r| {
         eprintln!(
             "  {name:<18} {cfg:<22} {:>10} cycles  {:>10} instrs  {}",
             r.cycles,
             r.instructions,
             if r.verified { "ok" } else { "FAILED-VERIFY" }
         );
-    })
+    });
+    timing.log();
+    rows
+}
+
+/// Convenience: the full Table-1 sweep at a scale, serially.
+pub fn table1_sweep(scale: Scale, machine: &MachineConfig) -> Vec<SweepRow> {
+    table1_sweep_jobs(scale, machine, 1)
 }

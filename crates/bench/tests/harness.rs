@@ -1,10 +1,10 @@
 //! Tests of the harness plumbing itself: the sweep driver, table
 //! rendering, and figure helpers produce consistent artifacts.
 
-use mosaic_bench::{sweep, Table};
+use mosaic_bench::{sweep, GoldenFile, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_sim::MachineConfig;
-use mosaic_workloads::{fib::Fib, Benchmark};
+use mosaic_workloads::{fib::Fib, matmul::MatMul, Benchmark};
 
 #[test]
 fn sweep_runs_all_configs_and_skips_missing_baselines() {
@@ -26,10 +26,60 @@ fn sweep_runs_all_configs_and_skips_missing_baselines() {
 
 #[test]
 fn sweep_rows_expose_baseline_for_loop_workloads() {
-    use mosaic_workloads::matmul::MatMul;
     let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(MatMul { n: 16, seed: 1 })];
     let rows = sweep::run_sweep(&benches, &MachineConfig::small(2, 2), |_, _, _| {});
     assert!(rows[0].static_baseline_cycles().unwrap() > 0);
+}
+
+#[test]
+fn parallel_sweep_matches_serial_exactly() {
+    // The core guarantee of the job pool: `--jobs N` produces results
+    // indistinguishable from a serial run, cell for cell.
+    let benches: Vec<Box<dyn Benchmark>> =
+        vec![Box::new(MatMul { n: 16, seed: 1 }), Box::new(Fib { n: 8 })];
+    let machine = MachineConfig::small(2, 2);
+    let (serial, t1) = sweep::run_sweep_jobs(&benches, &machine, 1, |_, _, _| {});
+    let (parallel, t4) = sweep::run_sweep_jobs(&benches, &machine, 4, |_, _, _| {});
+    assert_eq!(t1.jobs, 1);
+    assert_eq!(t4.jobs, 4);
+    assert_eq!(t1.cells, t4.cells);
+    assert_eq!(serial, parallel, "jobs=4 diverged from jobs=1");
+}
+
+#[test]
+fn run_cells_collects_in_order_for_any_job_count() {
+    for jobs in [1usize, 2, 3, 8, 32] {
+        let mut seen = Vec::new();
+        sweep::run_cells(
+            17,
+            jobs,
+            |i| i * i,
+            |i, v| {
+                assert_eq!(v, i * i);
+                seen.push(i);
+            },
+        );
+        let expect: Vec<usize> = (0..17).collect();
+        assert_eq!(seen, expect, "out-of-order collection at jobs={jobs}");
+    }
+}
+
+#[test]
+fn golden_round_trips_through_json() {
+    // Serialize a real sweep to golden JSON, parse it back, and verify
+    // the parsed file compares clean against the original.
+    let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(MatMul { n: 16, seed: 1 })];
+    let rows = sweep::run_sweep(&benches, &MachineConfig::small(2, 2), |_, _, _| {});
+    let mut golden = GoldenFile::new("harness_test", "tiny", 2, 2);
+    golden.push_sweep(&rows);
+    assert!(!golden.cells.is_empty());
+    let json = golden.to_json();
+    let parsed = GoldenFile::parse(&json).expect("golden JSON must parse");
+    assert_eq!(parsed.cells.len(), golden.cells.len());
+    assert!(
+        golden.diff(&parsed).is_empty(),
+        "round-tripped golden differs"
+    );
 }
 
 #[test]

@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn farther_nodes_have_longer_latency() {
-        let mut m = Mesh::new(MeshConfig::hammerblade_128());
+        let m = Mesh::new(MeshConfig::hammerblade_128());
         let cfg = m.config().clone();
         let src = cfg.core_node(0);
         let near = cfg.core_node(1);

@@ -90,6 +90,15 @@ impl MachineConfig {
         self.cols as usize * self.rows as usize
     }
 
+    /// Host OS threads one simulation of this machine occupies: the
+    /// engine runs each simulated core's behaviour closure on its own
+    /// thread, plus the coordinating engine thread. Harnesses that run
+    /// many simulations concurrently divide the host's parallelism by
+    /// this to size their job pool.
+    pub fn host_threads_per_run(&self) -> usize {
+        self.core_count() + 1
+    }
+
     /// Build the matching mesh description.
     pub fn mesh_config(&self) -> MeshConfig {
         MeshConfig::new(self.cols, self.rows, self.ruche_x)
@@ -112,6 +121,12 @@ mod tests {
         assert_eq!(c.core_count(), 128);
         assert_eq!(c.llc.banks, 32);
         assert_eq!(c.spm_size, 4096);
+    }
+
+    #[test]
+    fn host_threads_cover_every_core_plus_engine() {
+        assert_eq!(MachineConfig::small(4, 2).host_threads_per_run(), 9);
+        assert_eq!(MachineConfig::small(1, 1).host_threads_per_run(), 2);
     }
 
     #[test]

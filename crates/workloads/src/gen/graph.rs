@@ -303,7 +303,7 @@ mod tests {
     fn values_are_positive_and_bounded() {
         for k in 0..100 {
             let v = value_of(3, k);
-            assert!(v >= 0.25 && v < 1.25);
+            assert!((0.25..1.25).contains(&v));
         }
     }
 }

@@ -32,7 +32,8 @@ fn main() {
     for spm in [1024u32, 2048, 4096, 8192] {
         let mut m = MachineConfig::small(8, 4);
         m.spm_size = spm;
-        let out = mosaic_workloads::nqueens::NQueens { n: 7 }.run(m, RuntimeConfig::work_stealing());
+        let out =
+            mosaic_workloads::nqueens::NQueens { n: 7 }.run(m, RuntimeConfig::work_stealing());
         out.assert_verified();
         let t = out.report.totals();
         println!(
