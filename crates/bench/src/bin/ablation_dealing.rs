@@ -4,7 +4,7 @@
 //! right policy for SPM manycores; this quantifies the gap under an
 //! identical substrate and placement configuration.
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanCell, SanitizeGate, Table};
 use mosaic_runtime::{Placement, RuntimeConfig};
 use mosaic_workloads::{matmul, pagerank, uts, Benchmark, Scale};
 use std::time::Instant;
@@ -31,6 +31,7 @@ fn main() {
     let mut table = Table::new(&["workload", "scheduler", "cycles", "moved", "vs static"]);
     let mut golden = opts.golden_file("ablation_dealing");
     let mut static_of: Vec<Option<u64>> = vec![None; benches.len()];
+    let mut gate = SanitizeGate::new(opts.sanitize);
     let start = Instant::now();
     let cell_time = sweep::run_cells(
         count,
@@ -49,11 +50,13 @@ fn main() {
                 out.report.cycles,
                 out.report.instructions(),
                 t.steals + t.deals,
+                SanCell::from_report(out.report.sanitizer.as_ref()),
             )
         },
-        |i, (cycles, instructions, moved)| {
+        |i, (cycles, instructions, moved, san)| {
             let (bi, sched) = cells[i];
             let b = &benches[bi];
+            gate.record(&b.name(), sched, &san);
             if sched == "static" {
                 static_of[bi] = Some(cycles);
                 table.row(vec![
@@ -91,4 +94,5 @@ fn main() {
     );
     println!("{table}");
     opts.finish_golden(&golden);
+    gate.finish();
 }

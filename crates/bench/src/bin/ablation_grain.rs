@@ -1,7 +1,7 @@
 //! Ablation: `parallel_for` grain size. Too fine pays task overhead;
 //! too coarse recreates static imbalance (hub rows stuck in one leaf).
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanCell, SanitizeGate, Table};
 use mosaic_runtime::{Mosaic, RuntimeConfig};
 use mosaic_workloads::gen::{graph, upload_csr, upload_f32};
 use mosaic_workloads::spmv::MatrixKind;
@@ -22,6 +22,7 @@ fn main() {
     let jobs = opts.effective_jobs(count);
     let mut table = Table::new(&["grain", "cycles", "spawns", "steals"]);
     let mut golden = opts.golden_file("ablation_grain");
+    let mut gate = SanitizeGate::new(opts.sanitize);
     let start = Instant::now();
     let cell_time = sweep::run_cells(
         count,
@@ -49,10 +50,18 @@ fn main() {
                 });
             });
             let t = report.totals();
-            (report.cycles, report.instructions(), t.spawns, t.steals)
+            let san = SanCell::from_report(report.sanitizer.as_ref());
+            (
+                report.cycles,
+                report.instructions(),
+                t.spawns,
+                t.steals,
+                san,
+            )
         },
-        |i, (cycles, instructions, spawns, steals)| {
+        |i, (cycles, instructions, spawns, steals, san)| {
             let grain = grains[i];
+            gate.record(&format!("SpMV-pl({n})"), &format!("grain-{grain}"), &san);
             table.row(vec![
                 format!("{grain}"),
                 format!("{cycles}"),
@@ -81,4 +90,5 @@ fn main() {
     );
     println!("{table}");
     opts.finish_golden(&golden);
+    gate.finish();
 }

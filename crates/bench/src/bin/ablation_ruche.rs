@@ -2,7 +2,7 @@
 //! mesh-with-ruching; this measures what the express links buy on the
 //! Fig. 5-style hot-spot pattern and on an all-to-all pattern.
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanCell, SanitizeGate, Table};
 use mosaic_sim::{Engine, Machine};
 use mosaic_workloads::Scale;
 use std::time::Instant;
@@ -16,6 +16,7 @@ fn main() {
     let jobs = opts.effective_jobs(count);
     let mut table = Table::new(&["ruche", "hotspot cycles", "all-to-all cycles"]);
     let mut golden = opts.golden_file("ablation_ruche");
+    let mut gate = SanitizeGate::new(opts.sanitize);
     let start = Instant::now();
     let mut row: Vec<u64> = Vec::new();
     let cell_time = sweep::run_cells(
@@ -29,7 +30,7 @@ fn main() {
             let machine = Machine::new(mcfg);
             let map = machine.addr_map().clone();
             let cores = machine.core_count();
-            let report = Engine::run(machine, move |core| {
+            let mut report = Engine::run(machine, move |core| {
                 let map = map.clone();
                 Box::new(move |api| {
                     if core == 0 && pattern_is_hotspot {
@@ -48,11 +49,13 @@ fn main() {
                     }
                 })
             });
-            (report.cycles, report.instructions())
+            let san = SanCell::from_report(report.machine.take_sanitizer_report().as_ref());
+            (report.cycles, report.instructions(), san)
         },
-        |i, (cycles, instructions)| {
+        |i, (cycles, instructions, san)| {
             let ruche = ruches[i / patterns.len()];
             let pattern = patterns[i % patterns.len()];
+            gate.record(&format!("ruche-{ruche}"), pattern, &san);
             golden.push(
                 format!("ruche-{ruche}"),
                 pattern,
@@ -81,4 +84,5 @@ fn main() {
     println!("Ruche-factor ablation, {} cores", opts.cores());
     println!("{table}");
     opts.finish_golden(&golden);
+    gate.finish();
 }

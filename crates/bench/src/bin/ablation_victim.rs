@@ -2,7 +2,7 @@
 //! choice — vs round-robin vs mesh-nearest) crossed with steal amount
 //! (one task vs half the victim's queue).
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanCell, SanitizeGate, Table};
 use mosaic_runtime::{RuntimeConfig, StealAmount, VictimPolicy};
 use mosaic_workloads::{uts, Scale};
 use std::time::Instant;
@@ -23,6 +23,7 @@ fn main() {
     let jobs = opts.effective_jobs(count);
     let mut table = Table::new(&["workload", "victim", "amount", "cycles", "steals", "failed"]);
     let mut golden = opts.golden_file("ablation_victim");
+    let mut gate = SanitizeGate::new(opts.sanitize);
     let start = Instant::now();
     let cell_time = sweep::run_cells(
         count,
@@ -44,12 +45,14 @@ fn main() {
                 out.report.instructions(),
                 t.steals,
                 t.failed_steals,
+                SanCell::from_report(out.report.sanitizer.as_ref()),
             )
         },
-        |i, (cycles, instructions, steals, failed)| {
+        |i, (cycles, instructions, steals, failed, san)| {
             let b = &benches[i / per_bench];
             let (vname, _) = victims[(i % per_bench) / amounts.len()];
             let (aname, _) = amounts[i % amounts.len()];
+            gate.record(&b.name(), &format!("{vname}/{aname}"), &san);
             table.row(vec![
                 b.name(),
                 vname.into(),
@@ -77,4 +80,5 @@ fn main() {
     println!("Steal-policy ablation on {} cores", opts.cores());
     println!("{table}");
     opts.finish_golden(&golden);
+    gate.finish();
 }

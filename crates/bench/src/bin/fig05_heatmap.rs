@@ -4,7 +4,7 @@
 //! read-only data duplication (X-Y routing makes Y-bandwidth toward
 //! the hot node the scarce resource).
 
-use mosaic_bench::Options;
+use mosaic_bench::{Options, SanCell, SanitizeGate};
 use mosaic_mesh::TrafficMatrix;
 use mosaic_sim::{Engine, Machine};
 use mosaic_workloads::Scale;
@@ -16,7 +16,7 @@ fn main() {
     let map = machine.addr_map().clone();
     let loads_per_core = 200u32;
 
-    let report = Engine::run(machine, move |core| {
+    let mut report = Engine::run(machine, move |core| {
         let map = map.clone();
         Box::new(move |api| {
             if core == 0 {
@@ -36,6 +36,7 @@ fn main() {
         })
     });
 
+    let san = report.machine.take_sanitizer_report();
     let probe = report
         .machine
         .latency_probe()
@@ -69,4 +70,12 @@ fn main() {
         bottom_mean > top_mean,
     );
     opts.finish_golden(&golden);
+
+    let mut gate = SanitizeGate::new(opts.sanitize);
+    gate.record(
+        "hotspot-probe",
+        "all-to-one",
+        &SanCell::from_report(san.as_ref()),
+    );
+    gate.finish();
 }

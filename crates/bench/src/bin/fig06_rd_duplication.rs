@@ -8,7 +8,7 @@
 //! 1.57x but the same kernels improve. Run with `--paper --scale full`
 //! for the strongest effect this model produces.
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanCell, SanitizeGate, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_workloads::pagerank::{GraphKind, PageRank};
 use mosaic_workloads::{Benchmark, Scale};
@@ -32,6 +32,7 @@ fn main() {
     let mut table = Table::new(&["config", "K1", "K2", "K3", "K4", "K5", "K6", "total"]);
     let mut golden = opts.golden_file("fig06_rd_duplication");
     let mut totals = Vec::new();
+    let mut gate = SanitizeGate::new(opts.sanitize);
     let count = variants.len();
     let jobs = opts.effective_jobs(count);
     let start = Instant::now();
@@ -56,11 +57,13 @@ fn main() {
                     out.report.span(&from, &to)
                 })
                 .collect();
-            (out.report.cycles, out.report.instructions(), spans)
+            let san = SanCell::from_report(out.report.sanitizer.as_ref());
+            (out.report.cycles, out.report.instructions(), spans, san)
         },
-        |i, (cycles, instructions, spans)| {
+        |i, (cycles, instructions, spans, san)| {
             let rd = variants[i];
             let label = if rd { "w/ RD" } else { "w/o RD" };
+            gate.record(&format!("PageRank-pl({n})"), label, &san);
             let mut cells = vec![label.to_string()];
             cells.extend(spans.iter().map(|s| format!("{s}")));
             cells.push(format!("{cycles}"));
@@ -92,4 +95,5 @@ fn main() {
         totals[0] as f64 / totals[1] as f64
     );
     opts.finish_golden(&golden);
+    gate.finish();
 }

@@ -4,7 +4,7 @@
 //! scheme ("Fib-S"). Speedups are normalized to the naive
 //! both-in-DRAM configuration, as in the paper.
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanCell, SanitizeGate, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_workloads::fib::Fib;
 use mosaic_workloads::{Benchmark, Scale};
@@ -30,6 +30,7 @@ fn main() {
     let jobs = opts.effective_jobs(count);
     let start = Instant::now();
     let mut baseline = 0u64;
+    let mut gate = SanitizeGate::new(opts.sanitize);
     let cell_time = sweep::run_cells(
         count,
         jobs,
@@ -42,11 +43,13 @@ fn main() {
                 out.report.cycles,
                 out.report.instructions(),
                 out.report.totals().stack_overflows,
+                SanCell::from_report(out.report.sanitizer.as_ref()),
             )
         },
-        |i, (cycles, instructions, overflows)| {
+        |i, (cycles, instructions, overflows, san)| {
             let (variant, _) = variants[i / ws_configs.len()];
             let (label, _) = ws_configs[i % ws_configs.len()];
+            gate.record(variant, label, &san);
             if i % ws_configs.len() == 0 {
                 baseline = cycles;
             }
@@ -73,4 +76,5 @@ fn main() {
     );
     println!("{table}");
     opts.finish_golden(&golden);
+    gate.finish();
 }

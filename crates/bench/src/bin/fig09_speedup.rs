@@ -6,7 +6,7 @@
 //! that benefit and costs no more than ~10% on those that don't, and
 //! the SPM data-placement optimizations add up to ~25% more.
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanitizeGate, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_workloads::Scale;
 
@@ -47,4 +47,8 @@ fn main() {
     let mut golden = opts.golden_file("fig09_speedup");
     golden.push_sweep(&rows);
     opts.finish_golden(&golden);
+
+    let mut gate = SanitizeGate::new(opts.sanitize);
+    gate.record_rows(&rows);
+    gate.finish();
 }

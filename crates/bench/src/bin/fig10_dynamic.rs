@@ -3,7 +3,7 @@
 //! work-stealing variants, normalized to both-stack-and-queue-in-SPM
 //! as in the paper (note the paper's X axis starts at 0.5).
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanCell, SanitizeGate, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_workloads::{cilksort, mattrans, Scale};
 use std::time::Instant;
@@ -26,6 +26,7 @@ fn main() {
     let jobs = opts.effective_jobs(count);
     let start = Instant::now();
     let mut row: Vec<(u64, u64)> = Vec::new();
+    let mut gate = SanitizeGate::new(opts.sanitize);
     let cell_time = sweep::run_cells(
         count,
         jobs,
@@ -34,10 +35,16 @@ fn main() {
             let (_, cfg) = &ws_configs[i % ws_configs.len()];
             let out = b.run(opts.machine(), cfg.clone());
             out.assert_verified();
-            (out.report.cycles, out.report.instructions())
+            (
+                out.report.cycles,
+                out.report.instructions(),
+                SanCell::from_report(out.report.sanitizer.as_ref()),
+            )
         },
-        |i, r| {
-            row.push(r);
+        |i, (cycles, instructions, san)| {
+            let (label, _) = &ws_configs[i % ws_configs.len()];
+            gate.record(&benches[i / ws_configs.len()].name(), label, &san);
+            row.push((cycles, instructions));
             if row.len() == ws_configs.len() {
                 let b = &benches[i / ws_configs.len()];
                 let best = row[3].0; // ws/spm-stack/spm-q is last in sweep order
@@ -63,4 +70,5 @@ fn main() {
     );
     println!("{table}");
     opts.finish_golden(&golden);
+    gate.finish();
 }

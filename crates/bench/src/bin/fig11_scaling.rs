@@ -6,7 +6,7 @@
 //! Work-stealing with both the stack and the task queue in SPM, as in
 //! the paper.
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanCell, SanitizeGate, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_sim::MachineConfig;
 use mosaic_workloads::{
@@ -90,17 +90,26 @@ fn main() {
     let mut golden = opts.golden_file("fig11_scaling");
     let mut row_cells: Vec<String> = Vec::new();
     let mut t1 = 0u64;
+    let mut gate = SanitizeGate::new(opts.sanitize);
     let cell_time = sweep::run_cells(
         count,
         jobs,
         |i| {
             let (b, (c, r)) = cell_of(i);
-            let out = b.run(MachineConfig::small(c, r), RuntimeConfig::work_stealing());
-            (out.report.cycles, out.report.instructions(), out.verified)
+            let mut machine = MachineConfig::small(c, r);
+            machine.sanitize = opts.sanitize;
+            let out = b.run(machine, RuntimeConfig::work_stealing());
+            (
+                out.report.cycles,
+                out.report.instructions(),
+                out.verified,
+                SanCell::from_report(out.report.sanitizer.as_ref()),
+            )
         },
-        |i, (cycles, instructions, verified)| {
+        |i, (cycles, instructions, verified, san)| {
             let (b, (c, r)) = cell_of(i);
             let cores = c as usize * r as usize;
+            gate.record(&b.name(), &format!("{cores}c"), &san);
             assert!(
                 verified,
                 "{} failed verification at {cores} cores",
@@ -136,4 +145,5 @@ fn main() {
     println!("Fig. 11: speedup over one core (work-stealing, stack+queue in SPM)");
     println!("{table}");
     opts.finish_golden(&golden);
+    gate.finish();
 }

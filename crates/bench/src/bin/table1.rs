@@ -5,7 +5,7 @@
 //! Absolute magnitudes differ from the paper (scaled-down inputs on a
 //! software model); the columns' *relative* structure is the result.
 
-use mosaic_bench::{sweep, Options, Table};
+use mosaic_bench::{sweep, Options, SanitizeGate, Table};
 use mosaic_runtime::RuntimeConfig;
 use mosaic_workloads::Scale;
 
@@ -66,4 +66,8 @@ fn main() {
     let mut golden = opts.golden_file("table1");
     golden.push_sweep(&rows);
     opts.finish_golden(&golden);
+
+    let mut gate = SanitizeGate::new(opts.sanitize);
+    gate.record_rows(&rows);
+    gate.finish();
 }

@@ -7,7 +7,7 @@
 //! vs "stolen" task spans are color-categorized; steal instants and
 //! user marks are flagged).
 
-use mosaic_bench::Options;
+use mosaic_bench::{Options, SanCell, SanitizeGate};
 use mosaic_runtime::{trace, RuntimeConfig};
 use mosaic_workloads::{uts, Scale};
 
@@ -46,4 +46,12 @@ fn main() {
         out.verified,
     );
     opts.finish_golden(&golden);
+
+    let mut gate = SanitizeGate::new(opts.sanitize);
+    gate.record(
+        &bench.name(),
+        "ws/trace",
+        &SanCell::from_report(r.sanitizer.as_ref()),
+    );
+    gate.finish();
 }

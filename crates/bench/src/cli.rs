@@ -34,6 +34,10 @@ pub struct Options {
     pub jobs: Option<usize>,
     /// Golden-number mode.
     pub golden: GoldenMode,
+    /// Attach the `mosaic-san` memory-model sanitizer to every run and
+    /// exit nonzero on any finding (`--sanitize`). Zero simulated-cycle
+    /// cost: reported numbers are identical either way.
+    pub sanitize: bool,
 }
 
 impl Options {
@@ -53,6 +57,7 @@ impl Options {
             rows: default_rows,
             jobs: None,
             golden: GoldenMode::Run,
+            sanitize: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -94,6 +99,7 @@ impl Options {
                 }
                 "--check-golden" => opts.golden = GoldenMode::Check,
                 "--write-golden" => opts.golden = GoldenMode::Write,
+                "--sanitize" => opts.sanitize = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale tiny|small|full   input sizes\n         \
@@ -101,7 +107,8 @@ impl Options {
                          --paper                    16x8 = 128 cores (paper machine)\n         \
                          --jobs N                   host threads for independent cells\n         \
                          --check-golden             verify against results/golden/ (exit 1 on drift)\n         \
-                         --write-golden             re-bless results/golden/ with this run"
+                         --write-golden             re-bless results/golden/ with this run\n         \
+                         --sanitize                 run the memory-model sanitizer (exit 1 on findings)"
                     );
                     std::process::exit(0);
                 }
@@ -113,7 +120,9 @@ impl Options {
 
     /// The machine these options describe.
     pub fn machine(&self) -> MachineConfig {
-        MachineConfig::small(self.cols, self.rows)
+        let mut m = MachineConfig::small(self.cols, self.rows);
+        m.sanitize = self.sanitize;
+        m
     }
 
     /// Core count.

@@ -461,7 +461,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
             }
             std::str::from_utf8(&b[start..*pos])
-                .unwrap()
+                .expect("ASCII digits are valid UTF-8")
                 .parse()
                 .map(Json::Number)
                 .map_err(|e| format!("bad number at byte {start}: {e}"))

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # mosaic-bench
 //!
 //! Harnesses that regenerate every table and figure of the paper's
@@ -23,10 +25,12 @@
 
 pub mod cli;
 pub mod golden;
+pub mod sanitize;
 pub mod sweep;
 pub mod table;
 
 pub use cli::{GoldenMode, Options};
 pub use golden::{GoldenCell, GoldenFile};
+pub use sanitize::{SanCell, SanitizeGate};
 pub use sweep::{run_cells, run_sweep, run_sweep_jobs, ConfigResult, SweepRow, SweepTiming};
 pub use table::Table;

@@ -35,6 +35,8 @@ pub struct ConfigResult {
     pub instructions: u64,
     /// Whether the run verified against the host reference.
     pub verified: bool,
+    /// Sanitizer outcome (default/empty when `--sanitize` is off).
+    pub sanitizer: crate::sanitize::SanCell,
 }
 
 /// One benchmark across all configurations.
@@ -248,6 +250,7 @@ pub fn run_sweep_jobs(
                 cycles: out.report.cycles,
                 instructions: out.report.instructions(),
                 verified: out.verified,
+                sanitizer: crate::sanitize::SanCell::from_report(out.report.sanitizer.as_ref()),
             }
         },
         |i, r| {

@@ -20,6 +20,7 @@ use crate::static_sched::StaticKernel;
 use crate::stats::WorkerStats;
 use crate::task::Registry;
 use mosaic_mem::{Addr, AddrMap, AmoOp};
+use mosaic_san::{Note, NoteSink};
 use mosaic_sim::{CoreApi, Cycle};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -55,6 +56,9 @@ pub struct Shared {
     pub mesh_cols: u16,
     /// Trace buffer (None when tracing is off).
     pub trace: Option<Mutex<Vec<crate::trace::TraceEvent>>>,
+    /// Channel to the memory-model sanitizer for stack-frame and
+    /// environment-freeze events (None when `--sanitize` is off).
+    pub san_notes: Option<NoteSink>,
 }
 
 /// A captured-environment block for loop patterns: `words` words of
@@ -170,6 +174,21 @@ impl<'a> TaskCtx<'a> {
         self.api.store(addr, value)
     }
 
+    /// Timed blocking load annotated as a relaxed atomic: an
+    /// intentional benign race (e.g. pull-direction BFS peeking at the
+    /// level array while claimers update it). Identical timing to
+    /// [`TaskCtx::load`]; the sanitizer treats relaxed↔relaxed pairs
+    /// as non-racing but grants no acquire edge.
+    pub fn load_relaxed(&mut self, addr: Addr) -> u32 {
+        self.api.load_relaxed(addr)
+    }
+
+    /// Timed non-blocking store annotated as a relaxed atomic; the
+    /// write-side counterpart of [`TaskCtx::load_relaxed`].
+    pub fn store_relaxed(&mut self, addr: Addr, value: u32) {
+        self.api.store_relaxed(addr, value)
+    }
+
     /// Timed load of an IEEE-754 single.
     pub fn loadf(&mut self, addr: Addr) -> f32 {
         f32::from_bits(self.api.load(addr))
@@ -204,6 +223,35 @@ impl<'a> TaskCtx<'a> {
     // Stack and SPM allocation
     // ------------------------------------------------------------------
 
+    /// Push a stack frame and tell the sanitizer about it (no simulated
+    /// cost; all frame traffic is charged by the caller).
+    pub(crate) fn push_frame(&mut self, words: u32) -> Addr {
+        let base = self.st.stack.push(words, &self.sh.map);
+        if let Some(s) = &self.sh.san_notes {
+            s.lock().push(Note::StackPush {
+                core: self.st.core as usize,
+                base: base.raw(),
+                words,
+                in_dram: self.st.stack.top_in_dram(),
+            });
+        }
+        base
+    }
+
+    /// Pop the most recent stack frame, telling the sanitizer which
+    /// address range was freed.
+    pub(crate) fn pop_frame(&mut self) {
+        let (base, words, in_dram) = self.st.stack.pop();
+        if let Some(s) = &self.sh.san_notes {
+            s.lock().push(Note::StackPop {
+                core: self.st.core as usize,
+                base: base.raw(),
+                words,
+                in_dram,
+            });
+        }
+    }
+
     /// Run `f` inside a modeled function call: charges call/return
     /// overhead and saved-register traffic, allocates a frame (subject
     /// to SPM-overflow placement), and reclaims any leftover
@@ -217,18 +265,18 @@ impl<'a> TaskCtx<'a> {
             costs.call_overhead + penalty,
         );
         let entry_frames = self.st.stack.frame_count();
-        let base = self.st.stack.push(costs.frame_save_words, &self.sh.map);
+        let base = self.push_frame(costs.frame_save_words);
         for i in 0..costs.frame_save_words {
             self.api.store(base.offset_words(i as u64), 0);
         }
         let r = f(self);
         while self.st.stack.frame_count() > entry_frames + 1 {
-            self.st.stack.pop();
+            self.pop_frame();
         }
         for i in 0..costs.frame_save_words {
             self.api.load(base.offset_words(i as u64));
         }
-        self.st.stack.pop();
+        self.pop_frame();
         self.api.charge(
             costs.call_overhead + extra_instr,
             costs.call_overhead + penalty,
@@ -241,13 +289,13 @@ impl<'a> TaskCtx<'a> {
     /// enclosing [`TaskCtx::call`] or task returns.
     pub fn stack_alloc(&mut self, words: u32) -> Addr {
         self.api.charge(1, 1); // sp adjustment
-        self.st.stack.push(words, &self.sh.map)
+        self.push_frame(words)
     }
 
     /// Free the most recent [`TaskCtx::stack_alloc`].
     pub fn stack_free(&mut self) {
         self.api.charge(1, 1);
-        self.st.stack.pop();
+        self.pop_frame();
     }
 
     /// Allocate `bytes` from this core's `spm_reserve` region, like the
@@ -300,6 +348,7 @@ impl<'a> TaskCtx<'a> {
         for i in 0..words {
             self.api.store(addr.offset_words(i as u64), 0);
         }
+        self.freeze_env(addr, words);
         EnvHandle { addr, words }
     }
 
@@ -323,9 +372,22 @@ impl<'a> TaskCtx<'a> {
             let v = self.api.load(env.addr.offset_words(i as u64));
             self.api.store(copy.offset_words(i as u64), v);
         }
+        self.freeze_env(copy, env.words);
         EnvHandle {
             addr: copy,
             words: env.words,
+        }
+    }
+
+    /// Tell the sanitizer an environment block is now read-only (it
+    /// stays frozen until the frame holding it pops).
+    fn freeze_env(&mut self, base: Addr, words: u32) {
+        if let Some(s) = &self.sh.san_notes {
+            s.lock().push(Note::FreezeEnv {
+                core: self.st.core as usize,
+                base: base.raw(),
+                words,
+            });
         }
     }
 

@@ -127,6 +127,11 @@ impl TaskCtx<'_> {
                 None => {
                     if !advertised {
                         self.api.store(hungry, 1);
+                        // Invariant: the hunger advert (and the
+                        // queue-empty state preceding it) must be
+                        // globally visible before this core starts its
+                        // poll backoff — a dealer only feeds cores
+                        // whose advert has landed.
                         self.api.fence();
                         advertised = true;
                     }

@@ -23,10 +23,16 @@
 
 use crate::config::{Placement, RuntimeConfig};
 use mosaic_mem::{Addr, AddrMap};
+use mosaic_san::LayoutSpec;
 
 /// Number of header words in a task-queue block: lock, head, tail,
 /// capacity.
 pub const QUEUE_HDR_WORDS: u32 = 4;
+
+/// Minimum SPM stack bytes an SPM-placed stack must be left with; a
+/// reservation that squeezes the stack below this is a configuration
+/// error, not a layout.
+pub const MIN_SPM_STACK_BYTES: u32 = 64;
 
 /// Bytes of SPM kept for miscellaneous runtime words (done flag,
 /// static-scheduler mailbox).
@@ -98,10 +104,30 @@ impl Layout {
         config: &RuntimeConfig,
         cores: u32,
         spm_size: u32,
-        mut alloc: impl FnMut(u64) -> Addr,
+        alloc: impl FnMut(u64) -> Addr,
     ) -> Layout {
+        match Layout::try_compute(config, cores, spm_size, alloc) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Layout::compute`]: rejects configurations
+    /// whose SPM reservation leaves no room for the queue block, misc
+    /// words, or (when SPM-placed) a [`MIN_SPM_STACK_BYTES`] stack,
+    /// instead of silently mis-laying-out the scratchpad.
+    pub fn try_compute(
+        config: &RuntimeConfig,
+        cores: u32,
+        spm_size: u32,
+        mut alloc: impl FnMut(u64) -> Addr,
+    ) -> Result<Layout, String> {
         let user = config.spm_user_reserve;
-        assert!(user <= spm_size, "spm_reserve exceeds the scratchpad");
+        if user > spm_size {
+            return Err(format!(
+                "spm_reserve exceeds the scratchpad ({user} > {spm_size} bytes)"
+            ));
+        }
         let user_off = spm_size - user;
 
         let queue_bytes = if config.queue == Placement::Spm {
@@ -109,14 +135,17 @@ impl Layout {
         } else {
             0
         };
-        assert!(
-            queue_bytes % 4 == 0 && (queue_bytes == 0 || queue_bytes / 4 > QUEUE_HDR_WORDS),
-            "SPM queue region too small for header"
-        );
-        assert!(
-            user + queue_bytes + MISC_BYTES <= spm_size,
-            "SPM over-committed: user {user} + queue {queue_bytes} + misc"
-        );
+        if queue_bytes % 4 != 0 || (queue_bytes != 0 && queue_bytes / 4 <= QUEUE_HDR_WORDS) {
+            return Err(format!(
+                "SPM queue region too small for header ({queue_bytes} bytes)"
+            ));
+        }
+        if user + queue_bytes + MISC_BYTES > spm_size {
+            return Err(format!(
+                "SPM over-committed: user {user} + queue {queue_bytes} + misc {MISC_BYTES} \
+                 exceed the {spm_size}-byte scratchpad"
+            ));
+        }
         let spm_queue_off = user_off - queue_bytes;
         let spm_queue_cap = if queue_bytes > 0 {
             queue_bytes / 4 - QUEUE_HDR_WORDS
@@ -125,11 +154,11 @@ impl Layout {
         };
         let misc_off = spm_queue_off - MISC_BYTES;
         let spm_stack_top = misc_off;
-        if config.stack == Placement::Spm {
-            assert!(
-                spm_stack_top >= 64,
-                "no usable SPM left for the stack ({spm_stack_top} bytes)"
-            );
+        if config.stack == Placement::Spm && spm_stack_top < MIN_SPM_STACK_BYTES {
+            return Err(format!(
+                "no usable SPM left for the stack ({spm_stack_top} bytes, \
+                 need {MIN_SPM_STACK_BYTES})"
+            ));
         }
 
         let dram_queue_cap = config.dram_queue_capacity;
@@ -145,7 +174,7 @@ impl Layout {
         let barrier = alloc(4);
         let hungry = alloc(cores as u64 * 4);
 
-        Layout {
+        Ok(Layout {
             cores,
             spm_size,
             stack: config.stack,
@@ -163,6 +192,40 @@ impl Layout {
             dram_stack_bytes: config.dram_stack_bytes,
             barrier,
             hungry,
+        })
+    }
+
+    /// Describe this layout to the memory-model sanitizer: which words
+    /// are locks, which DRAM ranges are intentional synchronization
+    /// structures (exempt from data-race checking), and the stack /
+    /// user-region geometry.
+    pub fn san_spec(&self, map: &AddrMap) -> LayoutSpec {
+        let lock_words = (0..self.cores)
+            .map(|c| self.queue_block(map, c).raw())
+            .collect();
+        let mut sync_ranges = Vec::new();
+        if self.queue == Placement::Dram {
+            // Queue headers and entries: head/tail are peeked without
+            // the lock (intentional benign race in `queue::len`).
+            let qb = self.dram_queue_blocks.raw();
+            sync_ranges.push((
+                qb,
+                qb + self.cores as u64 * self.dram_queue_words as u64 * 4,
+            ));
+            let dir = self.dram_dir.raw();
+            sync_ranges.push((dir, dir + self.cores as u64 * 4));
+        }
+        let h = self.hungry.raw();
+        sync_ranges.push((h, h + self.cores as u64 * 4));
+        let b = self.barrier.raw();
+        sync_ranges.push((b, b + 4));
+        LayoutSpec {
+            user_off: self.user_off,
+            spm_size: self.spm_size,
+            spm_stack_words: self.spm_stack_words(),
+            dram_stack_words: self.dram_stack_words(),
+            lock_words,
+            sync_ranges,
         }
     }
 

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # mosaic-runtime
 //!
 //! A dynamic task parallel programming framework — a Cilk/TBB-like

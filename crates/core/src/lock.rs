@@ -30,6 +30,9 @@ pub fn try_acquire(api: &mut CoreApi, lock: Addr) -> bool {
 
 /// Release the spin lock at `lock` with release semantics.
 pub fn release(api: &mut CoreApi, lock: Addr) {
+    // Invariant: every store made inside the critical section (queue
+    // words, task records) must be globally visible before the unlock
+    // store — the next holder acquires through the lock amoswap alone.
     api.fence();
     api.store(lock, 0);
 }

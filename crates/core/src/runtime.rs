@@ -42,12 +42,43 @@ pub struct Mosaic {
 
 impl Mosaic {
     /// A Mosaic system on a fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid machine configuration or an SPM budget the
+    /// runtime cannot lay out (see [`Mosaic::try_new`]).
     pub fn new(machine: MachineConfig, config: RuntimeConfig) -> Self {
-        Mosaic {
+        match Mosaic::try_new(machine, config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: validates the machine configuration and
+    /// checks the runtime's SPM budget up front (user reservation plus
+    /// queue block plus misc plus minimum stack must fit the
+    /// scratchpad), so a bad configuration is an `Err` here instead of
+    /// a silent mis-layout or a panic mid-run.
+    pub fn try_new(machine: MachineConfig, config: RuntimeConfig) -> Result<Self, String> {
+        machine.validate()?;
+        // Dry-run the layout arithmetic with a dummy allocator; the
+        // real DRAM blocks are allocated in `run`.
+        let mut brk = mosaic_mem::AddrMap::DRAM_BASE;
+        Layout::try_compute(
+            &config,
+            machine.core_count() as u32,
+            machine.spm_size,
+            |b| {
+                let a = mosaic_mem::Addr(brk);
+                brk += (b + 15) & !15;
+                a
+            },
+        )?;
+        Ok(Mosaic {
             machine: Machine::new(machine),
             config,
             costs: CostModel::default(),
-        }
+        })
     }
 
     /// The machine, for pre-run input loading (`dram_alloc*`, `poke`).
@@ -93,6 +124,14 @@ impl Mosaic {
         let map = machine.addr_map().clone();
         layout.initialize(&map, |addr, value| machine.poke(addr, value));
 
+        // Teach the attached sanitizer (if any) this run's layout —
+        // lock words, intentional sync ranges, stack geometry — and
+        // open the note channel for stack/environment events.
+        let san_notes = machine.sanitizer_mut().map(|san| {
+            san.set_spec(layout.san_spec(&map));
+            san.note_sink()
+        });
+
         let scheduler = config.scheduler;
         let trace = config.trace.then(|| Mutex::new(Vec::new()));
         let shared = Arc::new(Shared {
@@ -109,12 +148,13 @@ impl Mosaic {
             cores,
             mesh_cols: machine.config().cols,
             trace,
+            san_notes,
         });
         let main_cell: Arc<Mutex<Option<crate::task::TaskBody>>> =
             Arc::new(Mutex::new(Some(Box::new(main))));
 
         let sh_factory = shared.clone();
-        let report = Engine::run(machine, move |core| {
+        let mut report = Engine::run(machine, move |core| {
             let sh = sh_factory.clone();
             let main_cell = main_cell.clone();
             Box::new(move |api| {
@@ -147,6 +187,7 @@ impl Mosaic {
             .as_ref()
             .map(|t| std::mem::take(&mut *t.lock()))
             .unwrap_or_default();
+        let sanitizer = report.machine.take_sanitizer_report();
         RunReport {
             cycles: report.cycles,
             counters: report.counters,
@@ -154,6 +195,7 @@ impl Mosaic {
             worker_stats,
             marks,
             trace,
+            sanitizer,
         }
     }
 }

@@ -18,6 +18,7 @@ use mosaic_mem::{Addr, AddrMap};
 /// One live frame (or anonymous in-frame allocation).
 #[derive(Debug, Clone, Copy)]
 struct Frame {
+    base: Addr,
     words: u32,
     in_dram: bool,
 }
@@ -107,6 +108,7 @@ impl StackEngine {
             map.spm_addr(self.core, self.spm_top_off - self.spm_depth * 4)
         };
         self.frames.push(Frame {
+            base,
             words,
             in_dram: use_dram,
         });
@@ -114,18 +116,20 @@ impl StackEngine {
         base
     }
 
-    /// Free the most recent frame.
+    /// Free the most recent frame; returns its `(base, words, in_dram)`
+    /// so callers can report the freed range (sanitizer shadow stack).
     ///
     /// # Panics
     ///
     /// Panics on pop of an empty stack.
-    pub fn pop(&mut self) {
+    pub fn pop(&mut self) -> (Addr, u32, bool) {
         let f = self.frames.pop().expect("stack pop with no frames");
         if f.in_dram {
             self.dram_depth -= f.words;
         } else {
             self.spm_depth -= f.words;
         }
+        (f.base, f.words, f.in_dram)
     }
 
     /// Total live words (SPM + DRAM).

@@ -87,11 +87,16 @@ pub(crate) fn static_for(ctx: &mut TaskCtx<'_>, lo: u32, hi: u32, env: EnvHandle
         ctx.api.store(arg_lo, clo);
         ctx.api.store(arg_hi, chi);
     }
+    // Invariant: the mailed chunk bounds must be globally visible
+    // before the command word that tells the worker to read them.
     ctx.api.fence();
     for c in 1..p {
         let cmd = ctx.misc_addr(c, misc::CMD);
         ctx.api.store(cmd, generation);
     }
+    // Invariant: drain the command stores before core 0 starts its own
+    // chunk, so worker start-up latency is bounded by the network, not
+    // by core 0's store queue backlog.
     ctx.api.fence();
 
     // Core 0 runs its own chunk...
@@ -107,6 +112,9 @@ pub(crate) fn static_for(ctx: &mut TaskCtx<'_>, lo: u32, hi: u32, env: EnvHandle
         ctx.api.charge(0, 48);
     }
     ctx.api.store(barrier, 0);
+    // Invariant: the barrier reset must be globally visible before the
+    // next generation's command goes out, or a fast worker's check-in
+    // could be overwritten by the stale reset.
     ctx.api.fence();
 }
 
@@ -139,6 +147,10 @@ pub(crate) fn static_worker_loop(ctx: &mut TaskCtx<'_>) {
                 .clone()
                 .expect("command raised without a published kernel");
             run_chunk(ctx, lo, hi, kernel.env, &kernel.body);
+            // Invariant: release-increment — the chunk's result stores
+            // must be globally visible before the check-in that core 0
+            // counts, since core 0 reads results right after the
+            // barrier fills.
             ctx.api.amo_release(barrier, AmoOp::Add, 1);
             expected = cmd + 1;
         } else {

@@ -58,6 +58,10 @@ pub struct RunReport {
     pub marks: Vec<(String, Cycle)>,
     /// Trace events (empty unless `RuntimeConfig::trace` was set).
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Sanitizer findings (None unless `MachineConfig::sanitize` was
+    /// set; the sanitizer charges no simulated cycles, so `cycles` is
+    /// identical either way).
+    pub sanitizer: Option<mosaic_san::SanReport>,
 }
 
 impl RunReport {

@@ -98,7 +98,7 @@ impl TaskCtx<'_> {
         self.api.amo(parent_rc, AmoOp::Add, 1);
         // The task record lives on the spawning core's stack (Fig. 3a:
         // `FibTask a(...)` is a stack object).
-        let rec_addr = self.st.stack.push(REC_WORDS, &self.sh.map);
+        let rec_addr = self.push_frame(REC_WORDS);
         self.api.store(rec_addr.offset_words(rec::RC), 0);
         self.api.store(
             rec_addr.offset_words(rec::PARENT_RC),
@@ -293,8 +293,10 @@ impl TaskCtx<'_> {
                 stolen,
             });
         }
-        // Write the completion result, then release-decrement the
-        // parent's counter so the result is ordered before the join.
+        // Invariant: write the completion result, then release-
+        // decrement the parent's counter — the parent's `wait()` spins
+        // on the counter alone, so the result (and every store the
+        // task made) must be ordered before the decrement lands.
         let parent_rc = self.api.load(rec_addr.offset_words(rec::PARENT_RC));
         self.api.store(rec_addr.offset_words(rec::RESULT), 1);
         if parent_rc != 0 {
@@ -311,7 +313,7 @@ impl TaskCtx<'_> {
         self.api
             .charge(costs.call_overhead + extra, costs.call_overhead + penalty);
         let entry_frames = self.st.stack.frame_count();
-        let base = self.st.stack.push(costs.frame_save_words, &self.sh.map);
+        let base = self.push_frame(costs.frame_save_words);
         for i in 0..costs.frame_save_words {
             self.api.store(base.offset_words(i as u64), 0);
         }
@@ -319,12 +321,12 @@ impl TaskCtx<'_> {
         body(self);
         self.st.cur_rec.pop();
         while self.st.stack.frame_count() > entry_frames + 1 {
-            self.st.stack.pop();
+            self.pop_frame();
         }
         for i in 0..costs.frame_save_words {
             self.api.load(base.offset_words(i as u64));
         }
-        self.st.stack.pop();
+        self.pop_frame();
         self.api
             .charge(costs.call_overhead + extra, costs.call_overhead + penalty);
     }
@@ -332,7 +334,7 @@ impl TaskCtx<'_> {
     /// Core-0 entry: set up the root task record, run `main`, drain any
     /// unjoined children, and shut the workers down.
     pub(crate) fn run_main(&mut self, main: TaskBody) {
-        let root = self.st.stack.push(REC_WORDS, &self.sh.map);
+        let root = self.push_frame(REC_WORDS);
         self.api.store(root.offset_words(rec::RC), 0);
         self.api.store(root.offset_words(rec::PARENT_RC), 0);
         self.api.store(root.offset_words(rec::RESULT), 0);
@@ -350,6 +352,9 @@ impl TaskCtx<'_> {
             let flag = self.misc_addr(core, misc::DONE_FLAG);
             self.api.store(flag, 1);
         }
+        // Invariant: all shutdown flags must be globally visible before
+        // main halts — once main stops advancing time, nothing would
+        // drain its store queue for the still-polling workers.
         self.api.fence();
     }
 }

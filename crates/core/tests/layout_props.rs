@@ -1,0 +1,100 @@
+//! Property tests for the runtime memory layout: for every
+//! configuration `try_compute` accepts, the regions it hands out must
+//! be disjoint — SPM user/queue/misc/stack per core, and the DRAM
+//! directory/queues/stacks/barrier/hungry blocks across cores.
+
+use mosaic_mem::{Addr, AddrMap};
+use mosaic_runtime::layout::{Layout, MISC_BYTES, QUEUE_HDR_WORDS};
+use mosaic_runtime::{Placement, RuntimeConfig};
+use proptest::prelude::*;
+
+/// A bump allocator mirroring `Machine::dram_alloc`'s alignment.
+fn bump() -> impl FnMut(u64) -> Addr {
+    let mut brk = AddrMap::DRAM_BASE;
+    move |bytes| {
+        let a = Addr(brk);
+        brk += (bytes + 15) & !15;
+        a
+    }
+}
+
+proptest! {
+    /// Any accepted configuration yields disjoint, in-bounds SPM
+    /// regions on every core and disjoint DRAM blocks across cores.
+    #[test]
+    fn accepted_layouts_have_disjoint_regions(
+        cores in 1u32..16,
+        spm_shift in 10u32..14,
+        user_raw in 0u32..2048,
+        queue_spm in any::<bool>(),
+        stack_spm in any::<bool>(),
+        dram_queue_capacity in 4u32..256,
+        dram_stack_kwords in 1u32..8,
+    ) {
+        let spm_size = 1u32 << spm_shift; // 1 KB .. 8 KB
+        let user_reserve = user_raw & !3;
+        let dram_stack_bytes = dram_stack_kwords * 4096;
+        let cfg = RuntimeConfig {
+            queue: if queue_spm { Placement::Spm } else { Placement::Dram },
+            stack: if stack_spm { Placement::Spm } else { Placement::Dram },
+            spm_user_reserve: user_reserve.min(spm_size),
+            dram_queue_capacity,
+            dram_stack_bytes,
+            ..RuntimeConfig::work_stealing()
+        };
+        let Ok(l) = Layout::try_compute(&cfg, cores, spm_size, bump()) else {
+            // Rejected configurations are fine — the property is about
+            // what try_compute *accepts*.
+            return;
+        };
+        let map = AddrMap::new(cores, spm_size);
+
+        // SPM regions, as [start, end) byte-offset intervals. Layout is
+        // uniform across cores, so checking the offsets checks them all.
+        let mut spm: Vec<(&str, u64, u64)> = vec![
+            ("user", l.user_region_off() as u64, spm_size as u64),
+            ("stack", 0, l.spm_stack_top() as u64),
+        ];
+        let q = l.queue_block(&map, 0).raw() - map.spm_addr(0, 0).raw();
+        if cfg.queue == Placement::Spm {
+            spm.push(("queue", q, q + (QUEUE_HDR_WORDS + l.queue_capacity()) as u64 * 4));
+        }
+        let misc = l.misc_addr(&map, 0, 0).raw() - map.spm_addr(0, 0).raw();
+        spm.push(("misc", misc, misc + MISC_BYTES as u64));
+        for (i, &(an, a0, a1)) in spm.iter().enumerate() {
+            prop_assert!(a1 <= spm_size as u64, "{an} out of SPM bounds");
+            for &(bn, b0, b1) in &spm[i + 1..] {
+                prop_assert!(a1 <= b0 || b1 <= a0,
+                    "{an} [{a0},{a1}) overlaps {bn} [{b0},{b1})");
+            }
+        }
+
+        // DRAM blocks: queue directory + queue blocks + stacks +
+        // barrier + hungry board must be pairwise disjoint.
+        let mut dram: Vec<(String, u64, u64)> = Vec::new();
+        for c in 0..cores {
+            let top = l.dram_stack_top(c).raw();
+            dram.push((format!("stack{c}"), top - cfg.dram_stack_bytes as u64, top));
+            if cfg.queue == Placement::Dram {
+                let qb = l.queue_block(&map, c).raw();
+                dram.push((
+                    format!("queue{c}"),
+                    qb,
+                    qb + (QUEUE_HDR_WORDS + l.queue_capacity()) as u64 * 4,
+                ));
+                let d = l.queue_dir_entry(c).raw();
+                dram.push((format!("dir{c}"), d, d + 4));
+            }
+            let h = l.hungry_addr(c).raw();
+            dram.push((format!("hungry{c}"), h, h + 4));
+        }
+        let b = l.barrier_addr().raw();
+        dram.push(("barrier".into(), b, b + 4));
+        for (i, (an, a0, a1)) in dram.iter().enumerate() {
+            for (bn, b0, b1) in &dram[i + 1..] {
+                prop_assert!(*a1 <= *b0 || *b1 <= *a0,
+                    "{an} [{a0:#x},{a1:#x}) overlaps {bn} [{b0:#x},{b1:#x})");
+            }
+        }
+    }
+}

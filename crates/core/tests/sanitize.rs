@@ -1,0 +1,148 @@
+//! End-to-end tests of the `mosaic-san` sanitizer attached to real
+//! runtime executions: clean runs must report clean, injected bugs
+//! must produce exactly the expected finding, and the sanitizer must
+//! never perturb simulated time.
+
+use mosaic_runtime::{Mosaic, Placement, RuntimeConfig};
+use mosaic_san::DiagKind;
+use mosaic_sim::MachineConfig;
+
+fn machine(sanitize: bool) -> MachineConfig {
+    let mut m = MachineConfig::small(4, 2);
+    m.sanitize = sanitize;
+    m
+}
+
+/// Every scheduler/placement combination the benchmarks sweep must be
+/// race-free under the happens-before detector.
+#[test]
+fn parallel_for_is_clean_under_every_scheduler() {
+    let configs = [
+        ("ws", RuntimeConfig::work_stealing()),
+        ("ws-naive", RuntimeConfig::work_stealing_naive()),
+        ("wd", RuntimeConfig::work_dealing()),
+        ("static", RuntimeConfig::static_loops(Placement::Spm)),
+    ];
+    for (name, cfg) in configs {
+        let mut sys = Mosaic::new(machine(true), cfg);
+        let data = sys.machine_mut().dram_alloc_init(&[7u32; 64]);
+        let out = sys.machine_mut().dram_alloc_words(64);
+        let report = sys.run(move |ctx| {
+            ctx.parallel_for(0, 64, 4, 2, move |ctx, i| {
+                let v = ctx.load(data.offset_words(i as u64));
+                ctx.store(out.offset_words(i as u64), v * 3);
+            });
+        });
+        let san = report.sanitizer.as_ref().expect("sanitizer attached");
+        assert!(san.is_clean(), "[{name}] {san}");
+        assert!(san.ops > 0, "[{name}] sanitizer saw no memory ops");
+        for i in 0..64 {
+            assert_eq!(report.machine.peek(out.offset_words(i)), 21);
+        }
+    }
+}
+
+#[test]
+fn nested_spawn_wait_tree_is_clean() {
+    let mut sys = Mosaic::new(machine(true), RuntimeConfig::work_stealing());
+    let acc = sys.machine_mut().dram_alloc_words(1);
+    let report = sys.run(move |ctx| {
+        fn tree(ctx: &mut mosaic_runtime::TaskCtx<'_>, depth: u32, acc: mosaic_mem::Addr) {
+            if depth == 0 {
+                ctx.amo(acc, mosaic_mem::AmoOp::Add, 1);
+                return;
+            }
+            ctx.spawn(move |ctx| tree(ctx, depth - 1, acc));
+            ctx.spawn(move |ctx| tree(ctx, depth - 1, acc));
+            ctx.wait();
+        }
+        tree(ctx, 5, acc);
+    });
+    assert_eq!(report.machine.peek(acc), 32);
+    let san = report.sanitizer.expect("sanitizer attached");
+    assert!(san.is_clean(), "{san}");
+}
+
+/// The injected-race negative test: two tasks plain-store the same
+/// DRAM word with no join between them — exactly one write-write race.
+#[test]
+fn injected_race_is_caught() {
+    let mut sys = Mosaic::new(machine(true), RuntimeConfig::work_stealing());
+    let target = sys.machine_mut().dram_alloc_words(1);
+    let report = sys.run(move |ctx| {
+        for v in 1..=2u32 {
+            // Long compute first so the second task is reliably stolen
+            // and the stores really do come from different cores.
+            ctx.spawn(move |ctx| {
+                ctx.compute(200, 800);
+                ctx.store(target, v);
+            });
+        }
+        ctx.wait();
+    });
+    let san = report.sanitizer.expect("sanitizer attached");
+    assert_eq!(san.total_findings(), 1, "{san}");
+    assert_eq!(san.diagnostics[0].kind, DiagKind::RaceWriteWrite);
+    assert_eq!(san.diagnostics[0].addr, target.raw());
+}
+
+/// Writing a captured environment after it was materialized violates
+/// the read-only-duplication contract (§4.3).
+#[test]
+fn env_write_after_freeze_is_caught() {
+    let sys = Mosaic::new(machine(true), RuntimeConfig::work_stealing());
+    let report = sys.run(move |ctx| {
+        let env = ctx.make_env(4);
+        ctx.store(env.addr, 42); // illegal: env is read-only now
+        ctx.env_read(env);
+        ctx.stack_free();
+    });
+    let san = report.sanitizer.expect("sanitizer attached");
+    assert_eq!(san.total_findings(), 1, "{san}");
+    assert_eq!(san.diagnostics[0].kind, DiagKind::ReadOnlyWrite);
+}
+
+/// The sanitizer charges no cycles: reported numbers are byte-identical
+/// with it on or off.
+#[test]
+fn sanitizer_is_cycle_invariant() {
+    let run = |sanitize: bool| {
+        let mut sys = Mosaic::new(machine(sanitize), RuntimeConfig::work_stealing());
+        let data = sys.machine_mut().dram_alloc_init(&[3u32; 128]);
+        let out = sys.machine_mut().dram_alloc_words(128);
+        let report = sys.run(move |ctx| {
+            ctx.parallel_for(0, 128, 8, 1, move |ctx, i| {
+                let v = ctx.load(data.offset_words(i as u64));
+                ctx.store(out.offset_words(i as u64), v + 1);
+            });
+        });
+        (report.cycles, report.instructions())
+    };
+    assert_eq!(run(false), run(true), "sanitizer must be zero-cost");
+}
+
+#[test]
+fn try_new_rejects_overcommitted_spm() {
+    let cfg = RuntimeConfig {
+        spm_user_reserve: 4096,
+        ..RuntimeConfig::work_stealing()
+    };
+    let err = Mosaic::try_new(machine(false), cfg).expect_err("must reject");
+    assert!(err.contains("over-committed"), "{err}");
+
+    // Squeezing the SPM stack below the minimum is also rejected.
+    let cfg = RuntimeConfig {
+        spm_user_reserve: 4096 - 512 - 32 - 32, // leaves 32 B of stack
+        ..RuntimeConfig::work_stealing()
+    };
+    let err = Mosaic::try_new(machine(false), cfg).expect_err("must reject");
+    assert!(err.contains("no usable SPM left"), "{err}");
+
+    // A DRAM-placed stack tolerates the same reservation.
+    let cfg = RuntimeConfig {
+        spm_user_reserve: 4096 - 512 - 32 - 32,
+        stack: Placement::Dram,
+        ..RuntimeConfig::work_stealing()
+    };
+    assert!(Mosaic::try_new(machine(false), cfg).is_ok());
+}

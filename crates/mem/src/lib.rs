@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # mosaic-mem
 //!
 //! Memory-system *endpoint* models for the Mosaic manycore simulator:

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # mosaic-mesh
 //!
 //! A 2-D mesh on-chip network (OCN) model for the Mosaic manycore

@@ -1,0 +1,119 @@
+//! Vector clocks for happens-before tracking.
+
+/// A vector clock over the machine's cores: `clock[c]` is the highest
+/// epoch of core `c` whose effects are known to have happened before
+/// the point this clock describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The all-zero clock for a `cores`-core machine.
+    pub fn new(cores: usize) -> Self {
+        VectorClock(vec![0; cores])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the clock has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component for `core`.
+    pub fn get(&self, core: usize) -> u64 {
+        self.0[core]
+    }
+
+    /// Set `core`'s component.
+    pub fn set(&mut self, core: usize, epoch: u64) {
+        self.0[core] = epoch;
+    }
+
+    /// Advance `core`'s component by one (a release point).
+    pub fn tick(&mut self, core: usize) {
+        self.0[core] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `true` when an access by `core` at `epoch` happened before the
+    /// point this clock describes (i.e. `epoch <= self[core]`).
+    pub fn covers(&self, core: usize, epoch: u64) -> bool {
+        epoch <= self.0[core]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new(3);
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VectorClock::new(3);
+        b.set(0, 2);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (5, 7, 1));
+    }
+
+    #[test]
+    fn join_is_idempotent_and_monotone() {
+        let mut a = VectorClock::new(2);
+        a.set(0, 3);
+        let snapshot = a.clone();
+        a.join(&snapshot);
+        assert_eq!(a, snapshot, "self-join must not change the clock");
+        let mut b = VectorClock::new(2);
+        b.set(1, 9);
+        a.join(&b);
+        assert!(a.get(0) >= snapshot.get(0) && a.get(1) >= b.get(1));
+    }
+
+    #[test]
+    fn covers_tracks_epoch_order() {
+        let mut c = VectorClock::new(2);
+        c.set(1, 4);
+        assert!(c.covers(1, 4));
+        assert!(c.covers(1, 3));
+        assert!(!c.covers(1, 5));
+        assert!(c.covers(0, 0));
+        assert!(!c.covers(0, 1));
+    }
+
+    #[test]
+    fn tick_advances_only_one_component() {
+        let mut c = VectorClock::new(3);
+        c.tick(1);
+        c.tick(1);
+        assert_eq!((c.get(0), c.get(1), c.get(2)), (0, 2, 0));
+    }
+
+    #[test]
+    fn publish_then_acquire_transfers_order() {
+        // Model of the release/acquire protocol: core 0 fences
+        // (snapshot + tick), publishes the snapshot on a sync word,
+        // core 1 acquire-joins it; core 1's clock must now cover every
+        // pre-fence epoch of core 0 but not the post-fence one.
+        let mut c0 = VectorClock::new(2);
+        c0.set(0, 1); // initial epoch
+        let released = c0.clone();
+        c0.tick(0); // post-fence accesses get epoch 2
+        let mut c1 = VectorClock::new(2);
+        c1.set(1, 1);
+        c1.join(&released);
+        assert!(c1.covers(0, 1), "pre-fence access must be ordered");
+        assert!(!c1.covers(0, 2), "post-fence access must not be");
+    }
+}

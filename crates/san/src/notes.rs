@@ -1,0 +1,75 @@
+//! Out-of-band annotations from the runtime.
+//!
+//! Some invariants (stack frame lifetimes, environment freezing) are
+//! invisible at the memory-operation level; the runtime narrates them
+//! through a shared note queue that the sanitizer drains — in event
+//! order, since the engine serializes core execution — at its next
+//! hook. Notes are host-side metadata and charge no simulated cycles.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One annotation from the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Note {
+    /// A stack frame (or in-frame allocation) of `words` words was
+    /// pushed at `base` on `core`'s stack.
+    StackPush {
+        /// The pushing core.
+        core: usize,
+        /// Lowest word address of the frame.
+        base: u64,
+        /// Frame size in words.
+        words: u32,
+        /// `true` when the frame went to the DRAM overflow buffer.
+        in_dram: bool,
+    },
+    /// The most recent frame (at `base`, `words` words) was popped.
+    StackPop {
+        /// The popping core.
+        core: usize,
+        /// Lowest word address of the freed frame.
+        base: u64,
+        /// Frame size in words.
+        words: u32,
+        /// `true` when the frame lived in the DRAM overflow buffer.
+        in_dram: bool,
+    },
+    /// The `words`-word captured environment at `base` is complete and
+    /// read-only from now until its frame pops.
+    FreezeEnv {
+        /// The creating core.
+        core: usize,
+        /// Base word address of the environment block.
+        base: u64,
+        /// Environment size in words.
+        words: u32,
+    },
+}
+
+/// The shared note queue between runtime and sanitizer.
+pub type NoteSink = Arc<Mutex<Vec<Note>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_preserves_order() {
+        let sink: NoteSink = Arc::new(Mutex::new(Vec::new()));
+        sink.lock().push(Note::FreezeEnv {
+            core: 0,
+            base: 16,
+            words: 2,
+        });
+        sink.lock().push(Note::StackPop {
+            core: 0,
+            base: 16,
+            words: 2,
+            in_dram: false,
+        });
+        let drained = std::mem::take(&mut *sink.lock());
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(drained[0], Note::FreezeEnv { .. }));
+    }
+}

@@ -1,0 +1,194 @@
+//! Diagnostics and the aggregated per-run report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What kind of invariant violation a diagnostic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagKind {
+    /// Two writes to the same data word with no happens-before edge.
+    RaceWriteWrite,
+    /// A write to a data word unordered with an earlier read.
+    RaceReadWrite,
+    /// A read of a data word unordered with an earlier write.
+    RaceWriteRead,
+    /// A store to a word inside a frozen (read-only) captured
+    /// environment.
+    ReadOnlyWrite,
+    /// A remote access into another core's private `spm_reserve`
+    /// region.
+    RemoteUserSpm,
+    /// A lock-release store with no matching acquire (or double
+    /// release).
+    LockReleaseWithoutAcquire,
+    /// A lock released by a core that does not hold it.
+    LockReleaseByNonOwner,
+    /// A lock-release store issued with store-queue entries still
+    /// outstanding (missing release fence).
+    UnfencedLockRelease,
+    /// A lock still held when the simulation finished.
+    LockHeldAtExit,
+    /// SPM stack growth crossed the DRAM-overflow threshold without
+    /// being redirected (would overwrite the queue/misc block).
+    SpmStackOverflow,
+    /// An SPM frame pushed while DRAM overflow frames were live (the
+    /// stack pointer is in DRAM; the SPM frame breaks LIFO discipline).
+    SpmFrameWhileOverflowed,
+    /// The per-core DRAM stack / overflow buffer overflowed.
+    DramStackExhausted,
+    /// A stack pop with no live frames.
+    StackUnderflow,
+}
+
+impl DiagKind {
+    /// Stable short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiagKind::RaceWriteWrite => "race:write-write",
+            DiagKind::RaceReadWrite => "race:read-write",
+            DiagKind::RaceWriteRead => "race:write-read",
+            DiagKind::ReadOnlyWrite => "env:write-to-read-only",
+            DiagKind::RemoteUserSpm => "spm:remote-user-region",
+            DiagKind::LockReleaseWithoutAcquire => "lock:release-without-acquire",
+            DiagKind::LockReleaseByNonOwner => "lock:release-by-non-owner",
+            DiagKind::UnfencedLockRelease => "lock:unfenced-release",
+            DiagKind::LockHeldAtExit => "lock:held-at-exit",
+            DiagKind::SpmStackOverflow => "stack:spm-overflow",
+            DiagKind::SpmFrameWhileOverflowed => "stack:spm-frame-while-overflowed",
+            DiagKind::DramStackExhausted => "stack:dram-exhausted",
+            DiagKind::StackUnderflow => "stack:underflow",
+        }
+    }
+}
+
+/// One reported finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated invariant.
+    pub kind: DiagKind,
+    /// The word address involved.
+    pub addr: u64,
+    /// The core whose access triggered the report.
+    pub core: usize,
+    /// Cycle of the triggering access.
+    pub cycle: u64,
+    /// The other party of a racing pair, if any.
+    pub other_core: Option<usize>,
+    /// Cycle of the other party's access, if any.
+    pub other_cycle: Option<u64>,
+    /// Free-form context (which check, sizes, values).
+    pub detail: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<32} {:#010x}  core {:>3} @ {:>10}",
+            self.kind.label(),
+            self.addr,
+            self.core,
+            self.cycle
+        )?;
+        match (self.other_core, self.other_cycle) {
+            (Some(c), Some(at)) => write!(f, "  vs core {c:>3} @ {at:>10}")?,
+            (Some(c), None) => write!(f, "  vs core {c:>3}")?,
+            _ => {}
+        }
+        if !self.detail.is_empty() {
+            write!(f, "  ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// How many distinct diagnostics are kept verbatim; further findings
+/// of an already-reported (kind, addr) pair only bump the counts.
+pub const MAX_DETAILED: usize = 64;
+
+/// The aggregated result of one sanitized run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanReport {
+    /// The retained diagnostics, in event order (deduplicated by
+    /// (kind, address); at most [`MAX_DETAILED`]).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Total findings including deduplicated repeats.
+    pub total: u64,
+    /// Findings per kind (including repeats).
+    pub counts: BTreeMap<DiagKind, u64>,
+    /// Memory operations observed (loads + stores + AMOs).
+    pub ops: u64,
+}
+
+impl SanReport {
+    /// `true` when the run was clean.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total findings (including deduplicated repeats).
+    pub fn total_findings(&self) -> u64 {
+        self.total
+    }
+}
+
+impl fmt::Display for SanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "sanitizer: clean ({} memory ops checked)", self.ops);
+        }
+        writeln!(
+            f,
+            "sanitizer: {} finding(s) over {} memory ops",
+            self.total, self.ops
+        )?;
+        writeln!(f, "  {:<32} {:>8}", "kind", "count")?;
+        for (kind, n) in &self.counts {
+            writeln!(f, "  {:<32} {n:>8}", kind.label())?;
+        }
+        writeln!(f, "  first {} distinct finding(s):", self.diagnostics.len())?;
+        for d in &self.diagnostics {
+            writeln!(f, "    {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_displays_op_count() {
+        let r = SanReport {
+            ops: 42,
+            ..SanReport::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.to_string().contains("clean (42 memory ops"));
+    }
+
+    #[test]
+    fn dirty_report_lists_kinds_and_findings() {
+        let mut counts = BTreeMap::new();
+        counts.insert(DiagKind::RaceWriteWrite, 3);
+        let r = SanReport {
+            diagnostics: vec![Diagnostic {
+                kind: DiagKind::RaceWriteWrite,
+                addr: 0x8000_0000,
+                core: 1,
+                cycle: 10,
+                other_core: Some(0),
+                other_cycle: Some(5),
+                detail: "t".into(),
+            }],
+            total: 3,
+            counts,
+            ops: 9,
+        };
+        let s = r.to_string();
+        assert!(s.contains("3 finding(s)"));
+        assert!(s.contains("race:write-write"));
+        assert!(s.contains("vs core   0"));
+    }
+}

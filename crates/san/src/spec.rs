@@ -1,0 +1,84 @@
+//! The runtime-declared layout specification.
+//!
+//! The sanitizer is attached at the simulator layer and sees raw
+//! addresses only; the runtime (which computed the SPM layout and
+//! allocated the DRAM structures) describes that layout here so the
+//! checker can tell queue blocks from stacks from user reservations,
+//! and intentional synchronization words from ordinary data.
+
+/// Everything the sanitizer needs to know about the runtime's memory
+/// layout. Built by `mosaic-runtime` from its resolved `Layout`;
+/// engine-level tests may attach a sanitizer without a spec, in which
+/// case only the race and lock checks that need no layout run.
+#[derive(Debug, Clone, Default)]
+pub struct LayoutSpec {
+    /// SPM byte offset of the user `spm_reserve` region (region is
+    /// `[user_off, spm_size)`); remote accesses there are flagged.
+    pub user_off: u32,
+    /// SPM size in bytes.
+    pub spm_size: u32,
+    /// SPM stack capacity in words (0 when the stack is DRAM-placed).
+    pub spm_stack_words: u32,
+    /// Per-core DRAM stack / overflow buffer capacity in words.
+    pub dram_stack_words: u32,
+    /// Raw addresses of the queue-block lock words (one per core),
+    /// subject to the amoswap-acquire / fence+store-release discipline.
+    pub lock_words: Vec<u64>,
+    /// Raw address ranges `[base, end)` that hold intentional
+    /// synchronization or lock-protected runtime state (DRAM queue
+    /// blocks, the queue directory, the hunger board, the barrier).
+    /// Data-race checks are suppressed there; clock transfer applies.
+    pub sync_ranges: Vec<(u64, u64)>,
+}
+
+impl LayoutSpec {
+    /// `true` when `raw` falls inside a declared sync range.
+    pub fn in_sync_range(&self, raw: u64) -> bool {
+        self.sync_ranges
+            .iter()
+            .any(|&(lo, hi)| raw >= lo && raw < hi)
+    }
+
+    /// `true` when `raw` is a declared lock word.
+    pub fn is_lock_word(&self, raw: u64) -> bool {
+        self.lock_words.contains(&raw)
+    }
+
+    /// `true` when SPM byte offset `off` lies in the user reservation.
+    pub fn in_user_region(&self, off: u32) -> bool {
+        self.spm_size > self.user_off && off >= self.user_off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_lock_membership() {
+        let spec = LayoutSpec {
+            user_off: 3072,
+            spm_size: 4096,
+            lock_words: vec![0x8000_0100],
+            sync_ranges: vec![(0x8000_0100, 0x8000_0200)],
+            ..LayoutSpec::default()
+        };
+        assert!(spec.in_sync_range(0x8000_0100));
+        assert!(spec.in_sync_range(0x8000_01fc));
+        assert!(!spec.in_sync_range(0x8000_0200));
+        assert!(spec.is_lock_word(0x8000_0100));
+        assert!(!spec.is_lock_word(0x8000_0104));
+        assert!(spec.in_user_region(3072));
+        assert!(!spec.in_user_region(3068));
+    }
+
+    #[test]
+    fn empty_user_region_matches_nothing() {
+        let spec = LayoutSpec {
+            user_off: 4096,
+            spm_size: 4096,
+            ..LayoutSpec::default()
+        };
+        assert!(!spec.in_user_region(4095));
+    }
+}

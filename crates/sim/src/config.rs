@@ -32,6 +32,10 @@ pub struct MachineConfig {
     /// many cycles — catches accidental livelock in modeled programs.
     /// `0` disables.
     pub max_cycles: Cycle,
+    /// Attach the `mosaic-san` memory-model sanitizer to every timed
+    /// access. Host-side checking only: no simulated cycle changes, so
+    /// all reported numbers are byte-identical either way.
+    pub sanitize: bool,
 }
 
 impl MachineConfig {
@@ -82,7 +86,31 @@ impl MachineConfig {
             sw_overflow_penalty: 0,
             seed: 0xC0FFEE,
             max_cycles: 0,
+            sanitize: false,
         }
+    }
+
+    /// Validate machine-level consistency. [`Machine`](crate::Machine)
+    /// construction rejects invalid configurations with this error
+    /// instead of silently mis-building the memory system.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cols == 0 || self.rows == 0 {
+            return Err("machine config: mesh dimensions must be nonzero".into());
+        }
+        if self.spm_size == 0 || !self.spm_size.is_multiple_of(4) {
+            return Err(format!(
+                "machine config: spm_size {} must be a nonzero multiple of 4",
+                self.spm_size
+            ));
+        }
+        let slots = self.mesh_config().llc_count();
+        if self.llc.banks as usize != slots {
+            return Err(format!(
+                "machine config: llc.banks {} must equal the mesh's {} LLC slots (2 * cols)",
+                self.llc.banks, slots
+            ));
+        }
+        Ok(())
     }
 
     /// Number of cores.

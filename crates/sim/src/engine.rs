@@ -34,18 +34,21 @@ use std::thread;
 enum Request {
     /// Just advance local time (flush accumulated compute).
     Advance { delay: Cycle, instrs: u64 },
-    /// Blocking word load.
+    /// Blocking word load. `relaxed` is a sanitizer annotation only
+    /// (relaxed-atomic access); timing is identical.
     Load {
         delay: Cycle,
         instrs: u64,
         addr: Addr,
+        relaxed: bool,
     },
-    /// Non-blocking word store.
+    /// Non-blocking word store. `relaxed` as in [`Request::Load`].
     Store {
         delay: Cycle,
         instrs: u64,
         addr: Addr,
         value: u32,
+        relaxed: bool,
     },
     /// Blocking atomic read-modify-write.
     Amo {
@@ -132,6 +135,20 @@ impl CoreApi {
             delay: self.take_delay(),
             instrs: self.take_instrs() + 1,
             addr,
+            relaxed: false,
+        };
+        self.roundtrip(req)
+    }
+
+    /// Blocking load annotated as a relaxed atomic for the sanitizer:
+    /// an intentional benign race (no acquire edge, never races with
+    /// other relaxed accesses). Timing is identical to [`CoreApi::load`].
+    pub fn load_relaxed(&mut self, addr: Addr) -> u32 {
+        let req = Request::Load {
+            delay: self.take_delay(),
+            instrs: self.take_instrs() + 1,
+            addr,
+            relaxed: true,
         };
         self.roundtrip(req)
     }
@@ -143,6 +160,20 @@ impl CoreApi {
             instrs: self.take_instrs() + 1,
             addr,
             value,
+            relaxed: false,
+        };
+        self.roundtrip(req);
+    }
+
+    /// Non-blocking store annotated as a relaxed atomic for the
+    /// sanitizer; timing is identical to [`CoreApi::store`].
+    pub fn store_relaxed(&mut self, addr: Addr, value: u32) {
+        let req = Request::Store {
+            delay: self.take_delay(),
+            instrs: self.take_instrs() + 1,
+            addr,
+            value,
+            relaxed: true,
         };
         self.roundtrip(req);
     }
@@ -415,6 +446,7 @@ impl Engine {
                 counters.core_mut(core).fences += 1;
                 let drain = store_queues[core].drain(..).max().unwrap_or(0).max(issue);
                 counters.core_mut(core).mem_stall_cycles += drain - issue;
+                machine.sanitizer_fence(core, issue);
                 pending[core] = Some(Pending::Wake(0));
                 heap.push(Reverse((drain, *seq, core)));
                 *seq += 1;
@@ -465,9 +497,9 @@ impl Engine {
         seq: &mut u64,
     ) {
         let (wake_at, value) = match req {
-            Request::Load { addr, .. } => {
+            Request::Load { addr, relaxed, .. } => {
                 counters.core_mut(core).loads += 1;
-                let (v, done) = machine.read(core, addr, cycle);
+                let (v, done) = machine.read(core, addr, cycle, relaxed);
                 counters.core_mut(core).mem_stall_cycles += done - cycle;
                 (done, v)
             }
@@ -479,7 +511,12 @@ impl Engine {
                 counters.core_mut(core).mem_stall_cycles += done - cycle;
                 (done, v)
             }
-            Request::Store { addr, value, .. } => {
+            Request::Store {
+                addr,
+                value,
+                relaxed,
+                ..
+            } => {
                 counters.core_mut(core).stores += 1;
                 let q = &mut store_queues[core];
                 q.retain(|&c| c > cycle);
@@ -491,7 +528,7 @@ impl Engine {
                     q.retain(|&c| c > start);
                     counters.core_mut(core).mem_stall_cycles += start - cycle;
                 }
-                let done = machine.write(core, addr, value, start);
+                let done = machine.write(core, addr, value, start, relaxed);
                 q.push(done);
                 (start + 1, 0)
             }
@@ -644,6 +681,81 @@ mod tests {
                 }
             })
         });
+    }
+
+    #[test]
+    fn sanitizer_catches_injected_write_write_race() {
+        let mut config = MachineConfig::small(2, 1);
+        config.sanitize = true;
+        let mut machine = Machine::new(config);
+        let a = machine.dram_alloc_words(1);
+        let mut r = Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                // Both cores blind-store the same DRAM word with no
+                // ordering edge whatsoever.
+                api.store(a, core as u32 + 1);
+                api.fence();
+            })
+        });
+        let rep = r
+            .machine
+            .take_sanitizer_report()
+            .expect("sanitizer attached");
+        assert_eq!(rep.total_findings(), 1, "{rep}");
+        assert_eq!(
+            rep.diagnostics[0].kind,
+            mosaic_san::DiagKind::RaceWriteWrite
+        );
+        assert_eq!(rep.diagnostics[0].addr, a.raw());
+    }
+
+    #[test]
+    fn sanitizer_accepts_release_acquire_handshake() {
+        let mut config = MachineConfig::small(2, 1);
+        config.sanitize = true;
+        let mut machine = Machine::new(config);
+        let flag = machine.dram_alloc_words(1);
+        let data = machine.dram_alloc_words(1);
+        let mut r = Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                if core == 0 {
+                    api.store(data, 99);
+                    api.amo_release(flag, AmoOp::Swap, 1);
+                } else {
+                    while api.load(flag) == 0 {
+                        api.charge(1, 8);
+                    }
+                    assert_eq!(api.load(data), 99);
+                }
+            })
+        });
+        let rep = r
+            .machine
+            .take_sanitizer_report()
+            .expect("sanitizer attached");
+        assert!(rep.is_clean(), "{rep}");
+    }
+
+    #[test]
+    fn sanitizer_does_not_change_simulated_cycles() {
+        let run = |sanitize: bool| {
+            let mut config = MachineConfig::small(4, 2);
+            config.sanitize = sanitize;
+            let mut machine = Machine::new(config);
+            let a = machine.dram_alloc_words(8);
+            let r = Engine::run(machine, move |core| {
+                Box::new(move |api| {
+                    for i in 0..20u64 {
+                        api.amo(a.offset_words(i % 8), AmoOp::Add, core as u32);
+                        api.store(a.offset_words((i + core as u64) % 8), 7);
+                        api.charge(3, 3);
+                    }
+                    api.fence();
+                })
+            });
+            (r.cycles, r.counters.total_instructions())
+        };
+        assert_eq!(run(false), run(true), "sanitizer must be zero-cost");
     }
 
     #[test]

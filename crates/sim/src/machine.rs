@@ -17,6 +17,7 @@
 use crate::{CoreId, Cycle, MachineConfig};
 use mosaic_mem::{Addr, AddrMap, AmoOp, DramModel, Llc, Region, Scratchpad};
 use mosaic_mesh::{Mesh, NodeId, TrafficMatrix};
+use mosaic_san::{SanReport, Sanitizer};
 
 /// Kinds of timed memory access, for counter attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,11 +44,22 @@ pub struct Machine {
     dram_brk: u64,
     /// Optional latency sampling matrix for heatmap experiments.
     latency_probe: Option<TrafficMatrix>,
+    /// Optional memory-model sanitizer observing every timed access
+    /// (host-side only; never charges simulated cycles).
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl Machine {
     /// Instantiate a cold machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`MachineConfig::validate`] error on an
+    /// inconsistent configuration.
     pub fn new(config: MachineConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         let mesh_cfg = config.mesh_config();
         let cores = config.core_count();
         let map = AddrMap::new(cores as u32, config.spm_size);
@@ -60,6 +72,9 @@ impl Machine {
             .collect();
         let llc = Llc::new(config.llc.clone());
         let dram = DramModel::new(config.dram.clone());
+        let sanitizer = config
+            .sanitize
+            .then(|| Box::new(Sanitizer::new(map.clone(), cores)));
         Machine {
             map,
             mesh: Mesh::new(mesh_cfg),
@@ -70,7 +85,31 @@ impl Machine {
             llc_nodes,
             dram_brk: 0,
             latency_probe: None,
+            sanitizer,
             config,
+        }
+    }
+
+    /// The attached sanitizer, when `config.sanitize` is set (for the
+    /// runtime to install its layout spec and note sink).
+    pub fn sanitizer_mut(&mut self) -> Option<&mut Sanitizer> {
+        self.sanitizer.as_deref_mut()
+    }
+
+    /// Run end-of-simulation checks and detach the sanitizer's report.
+    /// Returns `None` when the sanitizer was never attached.
+    pub fn take_sanitizer_report(&mut self) -> Option<SanReport> {
+        self.sanitizer.take().map(|mut s| {
+            s.finish();
+            s.report()
+        })
+    }
+
+    /// Sanitizer fence hook (called by the engine when a core's store
+    /// queue drains).
+    pub(crate) fn sanitizer_fence(&mut self, core: CoreId, cycle: Cycle) {
+        if let Some(s) = &mut self.sanitizer {
+            s.fence(core, cycle);
         }
     }
 
@@ -190,17 +229,40 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Timed load by `core` at `cycle`; returns `(value, done_cycle)`.
-    pub fn read(&mut self, core: CoreId, addr: Addr, cycle: Cycle) -> (u32, Cycle) {
+    /// `relaxed` marks an annotated relaxed-atomic access for the
+    /// sanitizer; the timing is identical either way.
+    pub fn read(&mut self, core: CoreId, addr: Addr, cycle: Cycle, relaxed: bool) -> (u32, Cycle) {
         let value = self.peek(addr);
+        if let Some(s) = &mut self.sanitizer {
+            if relaxed {
+                s.load_relaxed(core, addr, cycle);
+            } else {
+                s.load(core, addr, cycle);
+            }
+        }
         let done = self.timed_access(core, addr, cycle, AccessKind::Read);
         (value, done)
     }
 
     /// Timed store by `core` at `cycle`; returns the cycle the store is
     /// globally visible (for fence tracking). The core itself does not
-    /// block on this.
-    pub fn write(&mut self, core: CoreId, addr: Addr, value: u32, cycle: Cycle) -> Cycle {
+    /// block on this. `relaxed` as in [`Machine::read`].
+    pub fn write(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        value: u32,
+        cycle: Cycle,
+        relaxed: bool,
+    ) -> Cycle {
         self.poke(addr, value);
+        if let Some(s) = &mut self.sanitizer {
+            if relaxed {
+                s.store_relaxed(core, addr, value, cycle);
+            } else {
+                s.store(core, addr, value, cycle);
+            }
+        }
         self.timed_access(core, addr, cycle, AccessKind::Write)
     }
 
@@ -219,6 +281,9 @@ impl Machine {
     ) -> (u32, Cycle) {
         let old = self.peek(addr);
         self.poke(addr, op.apply(old, operand));
+        if let Some(s) = &mut self.sanitizer {
+            s.amo(core, addr, op, operand, old, cycle);
+        }
         let done = self.timed_access(core, addr, cycle, AccessKind::Amo);
         (old, done)
     }
@@ -327,7 +392,7 @@ mod tests {
     fn local_spm_read_is_fast() {
         let mut m = machine();
         let a = m.addr_map().spm_addr(0, 0);
-        let (_, done) = m.read(0, a, 100);
+        let (_, done) = m.read(0, a, 100, false);
         assert_eq!(done - 100, 2);
     }
 
@@ -335,7 +400,7 @@ mod tests {
     fn remote_spm_read_pays_network() {
         let mut m = machine();
         let a = m.addr_map().spm_addr(3, 0); // (3, 1) vs core 0 at (0, 1)
-        let (_, done) = m.read(0, a, 100);
+        let (_, done) = m.read(0, a, 100, false);
         assert!(done - 100 > 2, "remote access must be slower than local");
     }
 
@@ -344,8 +409,8 @@ mod tests {
         let mut m = machine();
         let spm = m.addr_map().spm_addr(0, 0);
         let dram = m.dram_alloc_words(1);
-        let (_, t_spm) = m.read(0, spm, 0);
-        let (_, t_dram) = m.read(0, dram, 0);
+        let (_, t_spm) = m.read(0, spm, 0, false);
+        let (_, t_dram) = m.read(0, dram, 0, false);
         assert!(t_dram > 5 * t_spm, "DRAM {t_dram} vs SPM {t_spm}");
     }
 
@@ -353,8 +418,8 @@ mod tests {
     fn llc_caches_repeated_dram_reads() {
         let mut m = machine();
         let dram = m.dram_alloc_words(1);
-        let (_, t1) = m.read(0, dram, 0);
-        let (_, t2) = m.read(0, dram, t1);
+        let (_, t1) = m.read(0, dram, 0, false);
+        let (_, t2) = m.read(0, dram, t1, false);
         assert!(t2 - t1 < t1, "second access should hit LLC");
         let (hits, misses, _) = m.llc_stats();
         assert_eq!((hits, misses), (1, 1));
@@ -374,7 +439,7 @@ mod tests {
     fn writes_are_functionally_visible_immediately() {
         let mut m = machine();
         let a = m.addr_map().spm_addr(2, 8);
-        m.write(0, a, 5, 0);
+        m.write(0, a, 5, 0, false);
         assert_eq!(m.peek(a), 5);
     }
 

@@ -158,11 +158,16 @@ impl Benchmark for Bfs {
                         let e = ctx.load(dgt.row_ptr.offset_words(v as u64 + 1));
                         for k in s..e {
                             let u = ctx.load(dgt.col.offset_words(k as u64));
-                            let lu = ctx.load(dlevel.offset_words(u as u64));
+                            // Relaxed: an intentional benign race. Other
+                            // pull tasks may concurrently claim `u`'s
+                            // still-unvisited out-neighbors and write
+                            // their level words; reading `depth + 1`
+                            // early just fails the `== depth` test.
+                            let lu = ctx.load_relaxed(dlevel.offset_words(u as u64));
                             ctx.compute(2, 2);
                             if lu == depth {
                                 ctx.store(dclaim.offset_words(v as u64), 1);
-                                ctx.store(dlevel.offset_words(v as u64), depth + 1);
+                                ctx.store_relaxed(dlevel.offset_words(v as u64), depth + 1);
                                 let slot = ctx.amo(dnext_cnt, AmoOp::Add, 1);
                                 ctx.store(next.offset_words(slot as u64), v);
                                 break;

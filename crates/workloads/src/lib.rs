@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! # mosaic-workloads
 //!
 //! The nine evaluation workloads of the ASPLOS '23 paper (Table 1),
