@@ -1,0 +1,160 @@
+//! CLI client for the serve daemon.
+//!
+//! ```sh
+//! mosaic-client --addr 127.0.0.1:9118 submit table1 --scale tiny --wait
+//! mosaic-client --addr 127.0.0.1:9118 metrics
+//! mosaic-client --addr 127.0.0.1:9118 shutdown
+//! ```
+//!
+//! Responses are printed as JSON, one per line, so output composes
+//! with shell pipelines; `submit --wait` additionally prints the
+//! result payload (the experiment's golden-format JSON) to stdout.
+
+use mosaic_serve::{Client, JobSpec, JobState, Request, SubmitReply};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mosaic-client [--addr HOST:PORT] COMMAND\n\
+         commands:\n  \
+         submit EXPERIMENT [--scale tiny|small|full] [--cols N --rows N] [--sanitize] [--wait] [--watch]\n  \
+         status ID\n  \
+         result ID\n  \
+         watch ID\n  \
+         cancel ID\n  \
+         metrics\n  \
+         shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9118".to_string();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--addr") {
+        args.remove(i);
+        if i >= args.len() {
+            usage();
+        }
+        addr = args.remove(i);
+    }
+    if args.is_empty() {
+        usage();
+    }
+    let command = args.remove(0);
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| panic!("cannot connect to serve daemon at {addr}: {e}"));
+
+    let fail = |e: String| -> ! {
+        eprintln!("mosaic-client: {e}");
+        std::process::exit(1);
+    };
+    let arg_id = |args: &[String]| -> String { args.first().cloned().unwrap_or_else(|| usage()) };
+
+    match command.as_str() {
+        "submit" => {
+            if args.is_empty() {
+                usage();
+            }
+            let mut spec = JobSpec::new(&args.remove(0), "small");
+            let mut wait = false;
+            let mut watch = false;
+            let mut it = args.into_iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--scale" => spec.scale = it.next().unwrap_or_else(|| usage()),
+                    "--cols" => {
+                        spec.cols = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
+                    "--rows" => {
+                        spec.rows = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
+                    "--sanitize" => spec.sanitize = true,
+                    "--wait" => wait = true,
+                    "--watch" => watch = true,
+                    _ => usage(),
+                }
+            }
+            let reply = client.submit(&spec).unwrap_or_else(|e| fail(e));
+            match reply {
+                SubmitReply::Accepted { id, state, cached } => {
+                    eprintln!(
+                        "accepted {id} ({}{})",
+                        state.as_str(),
+                        if cached { ", cached" } else { "" }
+                    );
+                    if watch && !state.is_terminal() {
+                        let final_state = client
+                            .watch(&id, |done, _total, msg| eprintln!("[{done}] {msg}"))
+                            .unwrap_or_else(|e| fail(e));
+                        eprintln!("{id}: {}", final_state.as_str());
+                    }
+                    if wait || watch {
+                        let res = client.wait_result(&id).unwrap_or_else(|e| fail(e));
+                        match res.state {
+                            JobState::Done => {
+                                print!("{}", res.payload.unwrap_or_default());
+                            }
+                            other => fail(format!(
+                                "job {id} ended {}: {}",
+                                other.as_str(),
+                                res.error.unwrap_or_default()
+                            )),
+                        }
+                    } else {
+                        println!("{id}");
+                    }
+                }
+                SubmitReply::Overloaded { depth, cap } => {
+                    fail(format!("overloaded: queue depth {depth} at cap {cap}"))
+                }
+                SubmitReply::Draining => fail("server is draining".to_string()),
+            }
+        }
+        "status" => {
+            let id = arg_id(&args);
+            let v = client
+                .request(&Request::Status { id })
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", v.write());
+        }
+        "result" => {
+            let id = arg_id(&args);
+            let res = client.wait_result(&id).unwrap_or_else(|e| fail(e));
+            match res.state {
+                JobState::Done => print!("{}", res.payload.unwrap_or_default()),
+                other => fail(format!(
+                    "job ended {}: {}",
+                    other.as_str(),
+                    res.error.unwrap_or_default()
+                )),
+            }
+        }
+        "watch" => {
+            let id = arg_id(&args);
+            let state = client
+                .watch(&id, |done, _total, msg| eprintln!("[{done}] {msg}"))
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", state.as_str());
+        }
+        "cancel" => {
+            let id = arg_id(&args);
+            let state = client.cancel(&id).unwrap_or_else(|e| fail(e));
+            println!("{}", state.as_str());
+        }
+        "metrics" => {
+            let v = client.metrics().unwrap_or_else(|e| fail(e));
+            println!("{}", v.write());
+        }
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            eprintln!("server draining");
+        }
+        _ => usage(),
+    }
+}

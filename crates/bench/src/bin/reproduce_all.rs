@@ -11,35 +11,47 @@
 //! `--write-golden` re-blesses them. Failures (including golden
 //! mismatches) are collected and reported together at the end instead
 //! of aborting on the first one.
+//!
+//! With `--via-server ADDR` the experiments are not run locally:
+//! every spec is submitted to a running serve daemon (see the `serve`
+//! binary), results come back over the wire as golden-format JSON,
+//! and `--check-golden` / `--write-golden` are applied locally to the
+//! returned cells. Resubmitting the same sweep is answered from the
+//! daemon's content-addressed cache — the closing metrics snapshot
+//! shows the hit count.
 
+use mosaic_bench::golden::{self, GoldenFile};
+use mosaic_bench::service::EXPERIMENTS;
+use mosaic_serve::{Client, JobSpec, JobState, SubmitReply};
 use std::process::Command;
 
 fn main() {
-    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let mut passthrough: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = passthrough.iter().position(|a| a == "--via-server") {
+        passthrough.remove(i);
+        if i >= passthrough.len() {
+            eprintln!("--via-server needs an ADDR (host:port of a running serve daemon)");
+            std::process::exit(2);
+        }
+        let addr = passthrough.remove(i);
+        via_server(&addr, &passthrough);
+        return;
+    }
+    run_local(&passthrough);
+}
+
+/// The original mode: run each harness as a local child process.
+fn run_local(passthrough: &[String]) {
     std::fs::create_dir_all("results").expect("mkdir results");
-    let bins = [
-        "table1",
-        "fig05_heatmap",
-        "fig06_rd_duplication",
-        "fig07_fib_microbench",
-        "fig09_speedup",
-        "fig10_dynamic",
-        "fig11_scaling",
-        "ablation_grain",
-        "ablation_victim",
-        "ablation_ruche",
-        "ablation_dealing",
-        "trace_run",
-    ];
     let exe_dir = std::env::current_exe()
         .expect("own path")
         .parent()
         .expect("bin dir")
         .to_path_buf();
     let mut failures: Vec<String> = Vec::new();
-    for bin in bins {
+    for bin in EXPERIMENTS {
         eprintln!("==> {bin}");
-        let out = match Command::new(exe_dir.join(bin)).args(&passthrough).output() {
+        let out = match Command::new(exe_dir.join(bin)).args(passthrough).output() {
             Ok(out) => out,
             Err(e) => {
                 eprintln!("    FAILED to launch: {e}");
@@ -60,10 +72,130 @@ fn main() {
         std::fs::write(&path, &out.stdout).expect("write result");
         eprintln!("    wrote {path}");
     }
+    finish(failures);
+}
+
+/// Route the whole reproduction through a serve daemon.
+fn via_server(addr: &str, flags: &[String]) {
+    // Only the flags that shape a JobSpec are meaningful here; the
+    // daemon owns host-parallelism decisions (`--jobs` budgets).
+    let mut scale = "small".to_string();
+    let mut cols: u16 = 0;
+    let mut rows: u16 = 0;
+    let mut sanitize = false;
+    let mut check = false;
+    let mut write = false;
+    let mut it = flags.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--scale" => scale = value("--scale"),
+            "--cols" => cols = value("--cols").parse().expect("--cols must be an integer"),
+            "--rows" => rows = value("--rows").parse().expect("--rows must be an integer"),
+            "--paper" => {
+                cols = 16;
+                rows = 8;
+            }
+            "--sanitize" => sanitize = true,
+            "--check-golden" => check = true,
+            "--write-golden" => write = true,
+            "--jobs" => {
+                let _ = value("--jobs");
+                eprintln!("note: --jobs is decided by the server in --via-server mode");
+            }
+            other => panic!("unknown option {other:?} for --via-server mode"),
+        }
+    }
+
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to serve daemon at {addr}: {e}");
+        std::process::exit(1);
+    });
+
+    // Submit everything up front so the daemon's queue and worker
+    // pool see the whole sweep, then collect in deterministic order.
+    let mut failures: Vec<String> = Vec::new();
+    let mut submitted: Vec<(&str, String)> = Vec::new();
+    for bin in EXPERIMENTS {
+        let mut spec = JobSpec::new(bin, &scale);
+        spec.cols = cols;
+        spec.rows = rows;
+        spec.sanitize = sanitize;
+        match client.submit(&spec) {
+            Ok(SubmitReply::Accepted { id, state, cached }) => {
+                eprintln!(
+                    "==> {bin} submitted as {id} ({}{})",
+                    state.as_str(),
+                    if cached { ", cached" } else { "" }
+                );
+                submitted.push((bin, id));
+            }
+            Ok(SubmitReply::Overloaded { depth, cap }) => {
+                failures.push(format!("{bin}: rejected, queue depth {depth} at cap {cap}"));
+            }
+            Ok(SubmitReply::Draining) => failures.push(format!("{bin}: server draining")),
+            Err(e) => failures.push(format!("{bin}: submit failed ({e})")),
+        }
+    }
+
+    for (bin, id) in &submitted {
+        match client.wait_result(id) {
+            Ok(res) if res.state == JobState::Done => {
+                let payload = res.payload.unwrap_or_default();
+                match GoldenFile::parse(&payload) {
+                    Ok(fresh) => {
+                        eprintln!("    {bin}: {} cells from server", fresh.cells.len());
+                        if write {
+                            match golden::write(&fresh) {
+                                Ok(path) => eprintln!("    blessed {path}"),
+                                Err(e) => failures.push(format!("{bin}: bless failed ({e})")),
+                            }
+                        }
+                        if check {
+                            match golden::check(&fresh) {
+                                Ok(cells) => eprintln!(
+                                    "    golden check ok: {cells} cells match {}",
+                                    fresh.file_name()
+                                ),
+                                Err(report) => {
+                                    eprintln!("{report}");
+                                    failures.push(format!("{bin}: golden mismatch"));
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => failures.push(format!("{bin}: malformed payload ({e})")),
+                }
+            }
+            Ok(res) => failures.push(format!(
+                "{bin}: job ended {} ({})",
+                res.state.as_str(),
+                res.error.unwrap_or_default()
+            )),
+            Err(e) => failures.push(format!("{bin}: result failed ({e})")),
+        }
+    }
+
+    match client.metrics() {
+        Ok(snap) => eprintln!("server metrics: {}", snap.write()),
+        Err(e) => eprintln!("server metrics unavailable: {e}"),
+    }
+    finish(failures);
+}
+
+fn finish(failures: Vec<String>) {
     if failures.is_empty() {
-        eprintln!("all experiments reproduced under results/");
+        eprintln!("all experiments reproduced");
     } else {
-        eprintln!("{} of {} experiments FAILED:", failures.len(), bins.len());
+        eprintln!(
+            "{} of {} experiments FAILED:",
+            failures.len(),
+            EXPERIMENTS.len()
+        );
         for f in &failures {
             eprintln!("  {f}");
         }

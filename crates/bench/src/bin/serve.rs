@@ -1,0 +1,109 @@
+//! The simulation-as-a-service daemon.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-bench --bin serve -- --addr 127.0.0.1:9118
+//! ```
+//!
+//! Accepts newline-delimited JSON requests (`submit` / `status` /
+//! `result` / `watch` / `cancel` / `metrics` / `shutdown`; see
+//! `mosaic-serve`), executes experiments by running the sibling
+//! harness binaries, and memoizes results in the content-addressed
+//! cache under `results/cache/`. Worker-pool and per-child `--jobs`
+//! budgets follow the sweep-pool rule: concurrent simulations times
+//! host threads per simulation must not exceed the host's cores.
+//!
+//! Drains gracefully on a `shutdown` request: new submissions are
+//! rejected, queued and running jobs complete, then the process exits.
+
+use mosaic_bench::service::BinExecutor;
+use mosaic_serve::{SchedConfig, Server, ServerConfig};
+use mosaic_sim::MachineConfig;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut workers: Option<usize> = None;
+    let mut child_jobs: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--queue-cap" => {
+                cfg.sched.queue_cap = value("--queue-cap")
+                    .parse()
+                    .expect("--queue-cap must be an integer");
+            }
+            "--workers" => {
+                workers = Some(
+                    value("--workers")
+                        .parse()
+                        .expect("--workers must be an integer"),
+                );
+            }
+            "--child-jobs" => {
+                child_jobs = Some(
+                    value("--child-jobs")
+                        .parse()
+                        .expect("--child-jobs must be an integer"),
+                );
+            }
+            "--timeout-secs" => {
+                cfg.sched.job_timeout = Duration::from_secs(
+                    value("--timeout-secs")
+                        .parse()
+                        .expect("--timeout-secs must be an integer"),
+                );
+            }
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--no-cache-dir" => cfg.cache_dir = None,
+            "--help" | "-h" => {
+                eprintln!(
+                    "mosaic serve daemon\n\
+                     options: --addr HOST:PORT      bind address (default 127.0.0.1:9118; port 0 = ephemeral)\n         \
+                     --queue-cap N          admission-control queue depth cap (default 64)\n         \
+                     --workers N            concurrent jobs (default: host cores / threads-per-sim)\n         \
+                     --child-jobs N         --jobs handed to each experiment child (default: fill the budget)\n         \
+                     --timeout-secs N       per-job wall-clock timeout (default 600)\n         \
+                     --cache-dir PATH       on-disk result cache (default results/cache)\n         \
+                     --no-cache-dir         memory-only cache"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown option {other:?} (try --help)"),
+        }
+    }
+
+    // Budget concurrent simulations the same way the sweep pool does:
+    // each simulation of the default 8x4 experiment mesh occupies
+    // cores+1 host threads, and workers × child_jobs of them may run
+    // at once.
+    let threads_per_sim = MachineConfig::small(8, 4).host_threads_per_run();
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = workers.unwrap_or_else(|| (host / threads_per_sim).max(1));
+    let child_jobs = child_jobs.unwrap_or_else(|| (host / (workers * threads_per_sim)).max(1));
+    cfg.sched = SchedConfig {
+        workers,
+        ..cfg.sched
+    };
+
+    let executor = BinExecutor::beside_current_exe(child_jobs).expect("locate harness binaries");
+    eprintln!(
+        "serve: {} workers x {} child jobs ({} host threads/sim, {} host cores), queue cap {}, timeout {:?}",
+        workers, child_jobs, threads_per_sim, host, cfg.sched.queue_cap, cfg.sched.job_timeout
+    );
+    let server = Server::start(cfg, Arc::new(executor)).expect("bind serve daemon");
+    // Stdout carries exactly the bound address so scripts can scrape
+    // the ephemeral port; everything else goes to stderr.
+    println!("{}", server.local_addr());
+    eprintln!("serve: listening on {}", server.local_addr());
+    server.join();
+    eprintln!("serve: drained, exiting");
+}

@@ -21,7 +21,7 @@ pub enum GoldenMode {
 }
 
 /// Common harness options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Options {
     /// Input scale preset.
     pub scale: Scale,
@@ -34,6 +34,11 @@ pub struct Options {
     pub jobs: Option<usize>,
     /// Golden-number mode.
     pub golden: GoldenMode,
+    /// Directory for golden files (`--golden-dir`); `None` = the
+    /// committed `results/golden/`. The serve executor points this at
+    /// a per-job scratch directory to collect results as structured
+    /// JSON instead of scraping stdout.
+    pub golden_dir: Option<std::path::PathBuf>,
     /// Attach the `mosaic-san` memory-model sanitizer to every run and
     /// exit nonzero on any finding (`--sanitize`). Zero simulated-cycle
     /// cost: reported numbers are identical either way.
@@ -57,6 +62,7 @@ impl Options {
             rows: default_rows,
             jobs: None,
             golden: GoldenMode::Run,
+            golden_dir: None,
             sanitize: false,
         };
         let mut args = std::env::args().skip(1);
@@ -99,6 +105,9 @@ impl Options {
                 }
                 "--check-golden" => opts.golden = GoldenMode::Check,
                 "--write-golden" => opts.golden = GoldenMode::Write,
+                "--golden-dir" => {
+                    opts.golden_dir = Some(args.next().expect("--golden-dir needs a value").into());
+                }
                 "--sanitize" => opts.sanitize = true,
                 "--help" | "-h" => {
                     eprintln!(
@@ -108,6 +117,7 @@ impl Options {
                          --jobs N                   host threads for independent cells\n         \
                          --check-golden             verify against results/golden/ (exit 1 on drift)\n         \
                          --write-golden             re-bless results/golden/ with this run\n         \
+                         --golden-dir PATH          read/write goldens under PATH instead\n         \
                          --sanitize                 run the memory-model sanitizer (exit 1 on findings)"
                     );
                     std::process::exit(0);
@@ -172,13 +182,17 @@ impl Options {
     /// per-cell diff table to stderr and exits the process with status
     /// 1.
     pub fn finish_golden(&self, fresh: &GoldenFile) {
+        let dir = self
+            .golden_dir
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from(golden::GOLDEN_DIR));
         match self.golden {
             GoldenMode::Run => {}
             GoldenMode::Write => {
-                let path = golden::write(fresh).expect("write golden file");
+                let path = golden::write_in(&dir, fresh).expect("write golden file");
                 eprintln!("blessed {path}");
             }
-            GoldenMode::Check => match golden::check(fresh) {
+            GoldenMode::Check => match golden::check_in(&dir, fresh) {
                 Ok(cells) => eprintln!(
                     "golden check ok: {} cells match {}",
                     cells,

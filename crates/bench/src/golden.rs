@@ -9,12 +9,15 @@
 //! nonzero, which is what turns `reproduce_all --check-golden` into a
 //! CI reproduction gate.
 //!
-//! The JSON codec is hand-rolled (the build container cannot fetch
-//! serde): a strict writer plus a small recursive-descent parser that
-//! accepts exactly what the writer emits (objects, arrays, strings,
-//! unsigned integers, booleans).
+//! The JSON codec is the workspace-shared [`jsonlite`] (the build
+//! container cannot fetch serde): a strict writer plus a small
+//! recursive-descent parser that accepts exactly what the writer emits
+//! (objects, arrays, strings, unsigned integers, booleans). This file
+//! only keeps the golden-specific canonical *layout* (stable key
+//! order, one cell per line) so committed files diff cleanly.
 
 use crate::table::Table;
+use jsonlite::{escape, Json};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -104,8 +107,8 @@ impl GoldenFile {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"experiment\": {},", json_string(&self.experiment));
-        let _ = writeln!(s, "  \"scale\": {},", json_string(&self.scale));
+        let _ = writeln!(s, "  \"experiment\": {},", escape(&self.experiment));
+        let _ = writeln!(s, "  \"scale\": {},", escape(&self.scale));
         let _ = writeln!(
             s,
             "  \"machine\": {{\"cols\": {}, \"rows\": {}}},",
@@ -116,8 +119,8 @@ impl GoldenFile {
             let _ = write!(
                 s,
                 "    {{\"workload\": {}, \"config\": {}, \"cycles\": {}, \"instructions\": {}, \"verified\": {}}}",
-                json_string(&c.workload),
-                json_string(&c.config),
+                escape(&c.workload),
+                escape(&c.config),
                 c.cycles,
                 c.instructions,
                 c.verified
@@ -281,249 +284,6 @@ pub fn check_in(dir: &Path, fresh: &GoldenFile) -> Result<usize, String> {
         diffs.len(),
         table.render()
     ))
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Minimal JSON value tree for the golden file grammar.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Object(Vec<(String, Json)>),
-    Array(Vec<Json>),
-    String(String),
-    Number(u64),
-    Bool(bool),
-}
-
-/// Field access helpers with error context.
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn as_object(&self, what: &str) -> Result<ObjectView<'_>, String> {
-        match self {
-            Json::Object(fields) => Ok(ObjectView(fields)),
-            other => Err(format!("{what}: expected object, got {other:?}")),
-        }
-    }
-
-    fn as_array(&self, what: &str) -> Result<&[Json], String> {
-        match self {
-            Json::Array(a) => Ok(a),
-            other => Err(format!("{what}: expected array, got {other:?}")),
-        }
-    }
-
-    fn as_string(&self) -> Result<String, String> {
-        match self {
-            Json::String(s) => Ok(s.clone()),
-            other => Err(format!("expected string, got {other:?}")),
-        }
-    }
-
-    fn as_u64(&self) -> Result<u64, String> {
-        match self {
-            Json::Number(n) => Ok(*n),
-            other => Err(format!("expected number, got {other:?}")),
-        }
-    }
-
-    fn as_bool(&self) -> Result<bool, String> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            other => Err(format!("expected bool, got {other:?}")),
-        }
-    }
-}
-
-/// A borrowed view over `Json::Object` fields adding keyed lookup.
-#[derive(Clone, Copy)]
-struct ObjectView<'a>(&'a [(String, Json)]);
-
-impl ObjectView<'_> {
-    fn get(&self, name: &str, what: &str) -> Result<&Json, String> {
-        self.0
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("{what}: missing field {name:?}"))
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
-    skip_ws(b, pos);
-    if *pos < b.len() && b[*pos] == ch {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected {:?} at byte {} (found {:?})",
-            ch as char,
-            *pos,
-            b.get(*pos).map(|&c| c as char)
-        ))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Object(fields));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                expect(b, pos, b':')?;
-                let value = parse_value(b, pos)?;
-                fields.push((key, value));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Object(fields));
-                    }
-                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Array(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Array(items));
-                    }
-                    other => return Err(format!("expected ',' or ']', got {other:?}")),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::String(parse_string(b, pos)?)),
-        Some(b't') if b[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if b[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(c) if c.is_ascii_digit() => {
-            let start = *pos;
-            while *pos < b.len() && b[*pos].is_ascii_digit() {
-                *pos += 1;
-            }
-            std::str::from_utf8(&b[start..*pos])
-                .expect("ASCII digits are valid UTF-8")
-                .parse()
-                .map(Json::Number)
-                .map_err(|e| format!("bad number at byte {start}: {e}"))
-        }
-        other => Err(format!("unexpected {other:?} at byte {pos}")),
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".to_string()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape".to_string())?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).ok_or("bad \\u escape".to_string())?);
-                        *pos += 4;
-                    }
-                    other => return Err(format!("bad escape {other:?}")),
-                }
-                *pos += 1;
-            }
-            Some(&c) => {
-                // Multi-byte UTF-8 sequences pass through unchanged.
-                let ch_len = utf8_len(c);
-                let chunk = b
-                    .get(*pos..*pos + ch_len)
-                    .ok_or("truncated UTF-8".to_string())?;
-                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
-                *pos += ch_len;
-            }
-        }
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7F => 1,
-        0xC0..=0xDF => 2,
-        0xE0..=0xEF => 3,
-        _ => 4,
-    }
 }
 
 #[cfg(test)]

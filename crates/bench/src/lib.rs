@@ -20,17 +20,23 @@
 //!
 //! Every binary accepts `--scale tiny|small|full` and `--cols N
 //! --rows N` to trade fidelity against wall-clock time; defaults keep
-//! a full sweep in the minutes range on a laptop. `probe_*` binaries
-//! are calibration diagnostics, not paper experiments.
+//! a full sweep in the minutes range on a laptop.
+//!
+//! Two non-experiment binaries front the `mosaic-serve` subsystem:
+//! `serve` (the simulation-as-a-service daemon; see [`service`]) and
+//! `mosaic-client` (its CLI). `reproduce_all --via-server ADDR`
+//! routes the whole reproduction through a running daemon.
 
 pub mod cli;
 pub mod golden;
 pub mod sanitize;
+pub mod service;
 pub mod sweep;
 pub mod table;
 
 pub use cli::{GoldenMode, Options};
 pub use golden::{GoldenCell, GoldenFile};
 pub use sanitize::{SanCell, SanitizeGate};
+pub use service::{BinExecutor, EXPERIMENTS};
 pub use sweep::{run_cells, run_sweep, run_sweep_jobs, ConfigResult, SweepRow, SweepTiming};
 pub use table::Table;

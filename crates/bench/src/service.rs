@@ -1,0 +1,259 @@
+//! The `mosaic-serve` executor for real experiments, plus the
+//! experiment catalog shared with `reproduce_all`.
+//!
+//! The daemon does not re-implement any experiment: the executor runs
+//! the sibling harness binary (`table1`, `fig09_speedup`, ...) as a
+//! child process with `--write-golden --golden-dir <scratch>` and
+//! returns the golden JSON the harness writes — structured output via
+//! the one serializer the repo already trusts, no stdout scraping.
+//! Child stderr lines are streamed back as job progress events, the
+//! cancel flag kills the child (which is how per-job timeouts reclaim
+//! host threads), and a nonzero exit (verification failure, sanitizer
+//! finding, golden drift) fails the job with the stderr tail attached.
+
+use mosaic_serve::{Executor, JobSpec};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Every experiment harness `reproduce_all` runs, in its canonical
+/// order (one golden file each under `results/golden/`).
+pub const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig05_heatmap",
+    "fig06_rd_duplication",
+    "fig07_fib_microbench",
+    "fig09_speedup",
+    "fig10_dynamic",
+    "fig11_scaling",
+    "ablation_grain",
+    "ablation_victim",
+    "ablation_ruche",
+    "ablation_dealing",
+    "trace_run",
+];
+
+/// Executor that runs experiment harness binaries as child processes.
+pub struct BinExecutor {
+    /// Directory holding the harness binaries (normally the daemon's
+    /// own directory — all `mosaic-bench` bins install side by side).
+    pub exe_dir: PathBuf,
+    /// `--jobs` handed to each child, budgeted so
+    /// `workers × child_jobs × host_threads_per_run ≤ host cores`.
+    pub child_jobs: usize,
+}
+
+impl BinExecutor {
+    /// An executor running the binaries next to the current one.
+    pub fn beside_current_exe(child_jobs: usize) -> std::io::Result<BinExecutor> {
+        let exe = std::env::current_exe()?;
+        let exe_dir = exe
+            .parent()
+            .ok_or_else(|| std::io::Error::other("current exe has no parent dir"))?
+            .to_path_buf();
+        Ok(BinExecutor {
+            exe_dir,
+            child_jobs: child_jobs.max(1),
+        })
+    }
+
+    fn validate(spec: &JobSpec) -> Result<(), String> {
+        if !EXPERIMENTS.contains(&spec.experiment.as_str()) {
+            return Err(format!(
+                "unknown experiment {:?} (known: {})",
+                spec.experiment,
+                EXPERIMENTS.join(", ")
+            ));
+        }
+        if !matches!(spec.scale.as_str(), "tiny" | "small" | "full") {
+            return Err(format!("unknown scale {:?} (tiny|small|full)", spec.scale));
+        }
+        if (spec.cols == 0) != (spec.rows == 0) {
+            return Err("cols and rows must be set together (or both 0)".to_string());
+        }
+        if !spec.workload.is_empty() || !spec.config.is_empty() || spec.seed != 0 {
+            return Err(
+                "workload/config filters and non-zero seeds are not supported by the \
+                 experiment harnesses yet"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+impl Executor for BinExecutor {
+    fn run(
+        &self,
+        spec: &JobSpec,
+        progress: &dyn Fn(u64, u64, &str),
+        cancelled: &AtomicBool,
+    ) -> Result<String, String> {
+        Self::validate(spec)?;
+        let scratch = std::env::temp_dir().join(format!(
+            "mosaic-serve-{}-{}",
+            std::process::id(),
+            spec.digest()
+        ));
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).map_err(|e| format!("mkdir scratch: {e}"))?;
+
+        let mut cmd = Command::new(self.exe_dir.join(&spec.experiment));
+        cmd.arg("--scale").arg(&spec.scale);
+        if spec.cols != 0 {
+            cmd.args(["--cols", &spec.cols.to_string()]);
+            cmd.args(["--rows", &spec.rows.to_string()]);
+        }
+        if spec.sanitize {
+            cmd.arg("--sanitize");
+        }
+        cmd.args(["--jobs", &self.child_jobs.to_string()]);
+        cmd.arg("--write-golden").arg("--golden-dir").arg(&scratch);
+        cmd.stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+
+        let run = run_child(cmd, spec, progress, cancelled);
+        let payload = match run {
+            Ok(()) => read_scratch_golden(&scratch),
+            Err(e) => Err(e),
+        };
+        let _ = std::fs::remove_dir_all(&scratch);
+        payload
+    }
+}
+
+/// Spawn the child, stream its stderr as progress events, and poll
+/// for exit and cancellation.
+fn run_child(
+    mut cmd: Command,
+    spec: &JobSpec,
+    progress: &dyn Fn(u64, u64, &str),
+    cancelled: &AtomicBool,
+) -> Result<(), String> {
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("launch {}: {e}", spec.experiment))?;
+    let stderr = child.stderr.take().ok_or("child stderr not captured")?;
+    // `progress` is not Send, so a helper thread forwards stderr lines
+    // over a channel and the executor thread relays them as events
+    // while polling exit status and the cancel flag.
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                return;
+            }
+        }
+    });
+
+    let mut cells_done: u64 = 0;
+    let mut tail: VecDeque<String> = VecDeque::new();
+    let mut relay = |line: String, progress: &dyn Fn(u64, u64, &str)| {
+        if line.contains(" cycles ") {
+            cells_done += 1;
+        }
+        tail.push_back(line.clone());
+        if tail.len() > 25 {
+            tail.pop_front();
+        }
+        progress(cells_done, 0, &line);
+    };
+
+    let status = loop {
+        while let Ok(line) = rx.try_recv() {
+            relay(line, progress);
+        }
+        if cancelled.load(Ordering::Relaxed) {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = reader.join();
+            return Err("cancelled".to_string());
+        }
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => std::thread::sleep(Duration::from_millis(25)),
+            Err(e) => {
+                let _ = child.kill();
+                return Err(format!("wait for {}: {e}", spec.experiment));
+            }
+        }
+    };
+    let _ = reader.join();
+    while let Ok(line) = rx.try_recv() {
+        relay(line, progress);
+    }
+    if !status.success() {
+        let tail: Vec<String> = tail.into_iter().collect();
+        return Err(format!(
+            "{} exited with {status}; stderr tail:\n{}",
+            spec.experiment,
+            tail.join("\n")
+        ));
+    }
+    Ok(())
+}
+
+/// The payload is the single golden JSON file the harness wrote into
+/// the scratch directory.
+fn read_scratch_golden(scratch: &std::path::Path) -> Result<String, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scratch)
+        .map_err(|e| format!("read scratch dir: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    match files.as_slice() {
+        [one] => std::fs::read_to_string(one).map_err(|e| format!("read golden payload: {e}")),
+        [] => Err("harness wrote no golden file".to_string()),
+        many => Err(format!(
+            "harness wrote {} golden files, expected 1",
+            many.len()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let ok = JobSpec::new("table1", "tiny");
+        assert!(BinExecutor::validate(&ok).is_ok());
+
+        let mut bad = ok.clone();
+        bad.experiment = "rm_rf".into();
+        assert!(BinExecutor::validate(&bad).is_err());
+
+        let mut bad = ok.clone();
+        bad.scale = "huge".into();
+        assert!(BinExecutor::validate(&bad).is_err());
+
+        let mut bad = ok.clone();
+        bad.cols = 8; // rows left 0
+        assert!(BinExecutor::validate(&bad).is_err());
+
+        let mut bad = ok.clone();
+        bad.seed = 3;
+        assert!(BinExecutor::validate(&bad).is_err());
+    }
+
+    #[test]
+    fn catalog_matches_the_committed_goldens() {
+        for exp in EXPERIMENTS {
+            let path = format!("{}/../../results/golden/", env!("CARGO_MANIFEST_DIR"));
+            let dir = std::fs::read_dir(path).expect("results/golden exists");
+            assert!(
+                dir.filter_map(|e| e.ok())
+                    .any(|e| e.file_name().to_string_lossy().starts_with(exp)),
+                "no committed golden for experiment {exp}"
+            );
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Content-addressed result cache.
+//!
+//! Keyed by [`JobSpec::digest`]: because every simulation is fully
+//! deterministic (same spec ⇒ byte-identical numbers, a property the
+//! golden-number suite already tests), a completed payload can be
+//! returned for any later submission of the same spec with no
+//! invalidation logic at all. Two tiers: an in-memory map for the
+//! hot path, and an on-disk store (`<dir>/<digest>.json`) that
+//! survives server restarts. Hit/miss counters feed the `metrics`
+//! snapshot.
+
+use crate::job::JobSpec;
+use jsonlite::Json;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::sync::lock;
+
+/// Two-tier (memory + disk) cache of completed job payloads.
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    map: Mutex<HashMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache persisting under `dir` (`None` = memory-only, used by
+    /// tests). The directory is created eagerly so a misconfigured
+    /// path fails at startup, not on the first completed job.
+    pub fn new(dir: Option<PathBuf>) -> std::io::Result<ResultCache> {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)?;
+        }
+        Ok(ResultCache {
+            dir,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    fn disk_path(&self, digest: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{digest}.json")))
+    }
+
+    /// Look up a payload by digest, counting a hit or a miss.
+    ///
+    /// Misses in memory fall through to disk; a disk hit is promoted
+    /// into the map so subsequent lookups stay off the filesystem.
+    pub fn lookup(&self, digest: &str) -> Option<String> {
+        if let Some(p) = lock(&self.map).get(digest).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(p);
+        }
+        if let Some(path) = self.disk_path(digest) {
+            if let Some(payload) = read_entry(&path, digest) {
+                lock(&self.map).insert(digest.to_string(), payload.clone());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(payload);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store a completed payload under `digest`, writing the disk
+    /// entry (spec included, so cache files are self-describing) and
+    /// the in-memory map. Disk write failures are reported but do not
+    /// fail the job — the cache is an accelerator, not a ledger.
+    pub fn insert(&self, digest: &str, spec: &JobSpec, payload: &str) {
+        lock(&self.map).insert(digest.to_string(), payload.to_string());
+        if let Some(path) = self.disk_path(digest) {
+            let entry = Json::obj()
+                .field("digest", digest)
+                .field("spec", spec.to_json())
+                .field("payload", payload)
+                .build();
+            let mut text = entry.write();
+            text.push('\n');
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("serve: cache write {} failed: {e}", path.display());
+            }
+        }
+    }
+
+    /// Lookups that found a payload.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Read and validate one on-disk entry; `None` on any mismatch (a
+/// corrupt file behaves as a miss and is overwritten on completion).
+fn read_entry(path: &Path, digest: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = Json::parse(&text).ok()?;
+    let obj = v.as_object("cache entry").ok()?;
+    let stored = obj.get("digest", "cache entry").ok()?.as_string().ok()?;
+    if stored != digest {
+        return None;
+    }
+    obj.get("payload", "cache entry").ok()?.as_string().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mosaic-serve-cache-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn memory_only_hits_and_misses() {
+        let c = ResultCache::new(None).unwrap();
+        let spec = JobSpec::new("table1", "tiny");
+        let d = spec.digest();
+        assert_eq!(c.lookup(&d), None);
+        c.insert(&d, &spec, "{\"cells\":[]}");
+        assert_eq!(c.lookup(&d).as_deref(), Some("{\"cells\":[]}"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disk_entries_survive_a_new_cache_instance() {
+        let dir = tmp_dir("persist");
+        let spec = JobSpec::new("fig10_dynamic", "tiny");
+        let d = spec.digest();
+        {
+            let c = ResultCache::new(Some(dir.clone())).unwrap();
+            c.insert(&d, &spec, "payload-text");
+        }
+        let c2 = ResultCache::new(Some(dir.clone())).unwrap();
+        assert_eq!(c2.lookup(&d).as_deref(), Some("payload-text"));
+        assert_eq!(c2.hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_miss() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = JobSpec::new("table1", "tiny");
+        let d = spec.digest();
+        std::fs::write(dir.join(format!("{d}.json")), "not json").unwrap();
+        let c = ResultCache::new(Some(dir.clone())).unwrap();
+        assert_eq!(c.lookup(&d), None);
+        assert_eq!(c.misses(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

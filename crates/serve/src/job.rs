@@ -1,0 +1,207 @@
+//! The canonical job model: what callers submit, how it is identified.
+//!
+//! A [`JobSpec`] pins every input that can influence a simulation's
+//! numbers — experiment, workload/config filters, scale, mesh shape,
+//! seed, sanitize flag. Because the simulator is bit-deterministic,
+//! the spec's [`digest`](JobSpec::digest) is a sound *content address*
+//! for the result: same digest ⇒ byte-identical output, which is what
+//! makes the result cache correct without invalidation logic.
+
+use jsonlite::Json;
+
+/// Everything that identifies one unit of server work.
+///
+/// Empty-string / zero fields mean "experiment default" (e.g.
+/// `cols == 0` lets the experiment pick its paper mesh shape); the
+/// defaults are still part of the digest text, so a spec that spells a
+/// default explicitly hashes differently from one that leaves it to
+/// the experiment — the two can legitimately produce different file
+/// names and are cached separately.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// Experiment (harness binary) name, e.g. `table1`.
+    pub experiment: String,
+    /// Restrict to one workload (empty = all the experiment covers).
+    pub workload: String,
+    /// Restrict to one runtime config label (empty = all).
+    pub config: String,
+    /// Scale preset: `tiny` / `small` / `full`.
+    pub scale: String,
+    /// Mesh columns; 0 = experiment default.
+    pub cols: u16,
+    /// Mesh core rows; 0 = experiment default.
+    pub rows: u16,
+    /// Input-generator seed (experiments are seed-deterministic).
+    pub seed: u64,
+    /// Attach the memory-model sanitizer.
+    pub sanitize: bool,
+}
+
+impl JobSpec {
+    /// A spec for `experiment` at `scale` with all other fields at
+    /// their experiment defaults.
+    pub fn new(experiment: &str, scale: &str) -> JobSpec {
+        JobSpec {
+            experiment: experiment.to_string(),
+            workload: String::new(),
+            config: String::new(),
+            scale: scale.to_string(),
+            cols: 0,
+            rows: 0,
+            seed: 0,
+            sanitize: false,
+        }
+    }
+
+    /// Serialize in canonical field order (the digest input).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("experiment", self.experiment.as_str())
+            .field("workload", self.workload.as_str())
+            .field("config", self.config.as_str())
+            .field("scale", self.scale.as_str())
+            .field("cols", self.cols as u64)
+            .field("rows", self.rows as u64)
+            .field("seed", self.seed)
+            .field("sanitize", self.sanitize)
+            .build()
+    }
+
+    /// Parse back from the wire / cache form.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let obj = v.as_object("spec")?;
+        Ok(JobSpec {
+            experiment: obj.get("experiment", "spec")?.as_string()?,
+            workload: obj.get("workload", "spec")?.as_string()?,
+            config: obj.get("config", "spec")?.as_string()?,
+            scale: obj.get("scale", "spec")?.as_string()?,
+            cols: obj.get("cols", "spec")?.as_u64()? as u16,
+            rows: obj.get("rows", "spec")?.as_u64()? as u16,
+            seed: obj.get("seed", "spec")?.as_u64()?,
+            sanitize: obj.get("sanitize", "spec")?.as_bool()?,
+        })
+    }
+
+    /// Stable content digest: FNV-1a/64 over the canonical JSON form,
+    /// as 16 lowercase hex digits. Used as the job id, the cache key,
+    /// and the on-disk cache file name.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", fnv1a64(self.to_json().write().as_bytes()))
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, stable across platforms.
+/// (Not cryptographic; the cache is a performance layer over a
+/// deterministic computation, not a trust boundary.)
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; payload available (and cached).
+    Done,
+    /// Executor returned an error or panicked.
+    Failed,
+    /// Exceeded the per-job wall-clock timeout.
+    TimedOut,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::TimedOut => "timeout",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Result<JobState, String> {
+        Ok(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "timeout" => JobState::TimedOut,
+            "cancelled" => JobState::Cancelled,
+            other => return Err(format!("unknown job state {other:?}")),
+        })
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::TimedOut | JobState::Cancelled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_spec_sensitive() {
+        let a = JobSpec::new("table1", "tiny");
+        assert_eq!(a.digest(), a.digest());
+        assert_eq!(a.digest().len(), 16);
+
+        let mut b = a.clone();
+        b.sanitize = true;
+        assert_ne!(a.digest(), b.digest());
+
+        let mut c = a.clone();
+        c.seed = 1;
+        assert_ne!(a.digest(), c.digest());
+
+        let mut d = a.clone();
+        d.cols = 8;
+        d.rows = 4;
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut s = JobSpec::new("fig09_speedup", "small");
+        s.workload = "CilkSort-64K".into();
+        s.config = "ws/spm-stack/spm-q".into();
+        s.cols = 16;
+        s.rows = 8;
+        s.seed = 7;
+        s.sanitize = true;
+        assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn state_names_round_trip() {
+        for st in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::TimedOut,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(JobState::parse(st.as_str()).unwrap(), st);
+        }
+        assert!(JobState::parse("bogus").is_err());
+    }
+}

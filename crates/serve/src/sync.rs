@@ -1,0 +1,21 @@
+//! Poison-tolerant lock helpers.
+//!
+//! A panicking executor runs with `catch_unwind` on a detached thread;
+//! if it ever panics while holding one of our state locks, the data it
+//! guards is still structurally valid (we only ever mutate it with
+//! simple pushes and field stores), so recovering the inner value is
+//! safe and keeps the server alive — which is the whole point of
+//! per-job panic isolation.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock a mutex, recovering from poisoning.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Wait on a condvar, recovering from poisoning.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,310 @@
+//! End-to-end service tests over a real TCP socket with a synthetic
+//! executor: cache round trips, admission control, cancellation,
+//! timeouts, panic isolation, progress streaming, graceful drain.
+
+use mosaic_serve::{
+    Client, Executor, JobSpec, JobState, SchedConfig, Server, ServerConfig, SubmitReply,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Behavior is encoded in `spec.workload`: empty = succeed instantly,
+/// `sleep:N` = poll the cancel flag for N ms then succeed, `fail` =
+/// executor error, `panic` = panic (exercises `catch_unwind`).
+struct TestExec;
+
+impl Executor for TestExec {
+    fn run(
+        &self,
+        spec: &JobSpec,
+        progress: &dyn Fn(u64, u64, &str),
+        cancelled: &AtomicBool,
+    ) -> Result<String, String> {
+        progress(1, 2, "started");
+        match spec.workload.as_str() {
+            "fail" => return Err("synthetic failure".to_string()),
+            "panic" => panic!("synthetic panic"),
+            w => {
+                if let Some(ms) = w.strip_prefix("sleep:") {
+                    let ms: u64 = ms.parse().expect("sleep:N");
+                    let deadline = Instant::now() + Duration::from_millis(ms);
+                    while Instant::now() < deadline {
+                        if cancelled.load(Ordering::Relaxed) {
+                            return Err("observed cancel flag".to_string());
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+        }
+        progress(2, 2, "finished");
+        Ok(format!(
+            "{{\"echo\":{},\"seed\":{}}}",
+            jsonlite::escape(&spec.experiment),
+            spec.seed
+        ))
+    }
+}
+
+fn start(queue_cap: usize, workers: usize, timeout_ms: u64) -> Server {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sched: SchedConfig {
+            queue_cap,
+            workers,
+            job_timeout: Duration::from_millis(timeout_ms),
+        },
+        cache_dir: None,
+    };
+    Server::start(cfg, Arc::new(TestExec)).expect("start server")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.local_addr().to_string()).expect("connect")
+}
+
+fn spec(experiment: &str, workload: &str, seed: u64) -> JobSpec {
+    let mut s = JobSpec::new(experiment, "tiny");
+    s.workload = workload.to_string();
+    s.seed = seed;
+    s
+}
+
+fn metric(client: &mut Client, field: &str) -> u64 {
+    let snap = client.metrics().expect("metrics");
+    snap.as_object("metrics")
+        .unwrap()
+        .get(field, "metrics")
+        .unwrap()
+        .as_u64()
+        .unwrap()
+}
+
+#[test]
+fn same_job_twice_is_identical_and_served_from_cache() {
+    let server = start(8, 2, 60_000);
+    let mut client = connect(&server);
+    let s = spec("tiny-exp", "", 0);
+
+    let first = client.submit(&s).expect("submit");
+    let SubmitReply::Accepted { id, cached, .. } = first else {
+        panic!("expected acceptance, got {first:?}");
+    };
+    assert!(!cached, "first submission must not be a cache hit");
+    let r1 = client.wait_result(&id).expect("result");
+    assert_eq!(r1.state, JobState::Done);
+
+    let second = client.submit(&s).expect("resubmit");
+    let SubmitReply::Accepted {
+        id: id2,
+        state,
+        cached,
+    } = second
+    else {
+        panic!("expected acceptance, got {second:?}");
+    };
+    assert_eq!(id2, id, "content-addressed id must be stable");
+    assert!(cached, "second submission must be served from cache");
+    assert_eq!(state, JobState::Done);
+    let r2 = client.wait_result(&id).expect("cached result");
+    assert_eq!(r1.payload, r2.payload, "cached payload must be identical");
+
+    assert!(metric(&mut client, "cache_hits") >= 1);
+    assert_eq!(metric(&mut client, "cache_misses"), 1);
+    assert_eq!(metric(&mut client, "completed"), 1);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn queue_cap_zero_rejects_with_overloaded() {
+    let server = start(0, 1, 60_000);
+    let mut client = connect(&server);
+    let reply = client.submit(&spec("rejected", "", 0)).expect("submit");
+    assert_eq!(reply, SubmitReply::Overloaded { depth: 0, cap: 0 });
+    assert_eq!(metric(&mut client, "rejected"), 1);
+    assert_eq!(metric(&mut client, "accepted"), 0);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_jobs() {
+    let server = start(8, 1, 60_000);
+    let mut client = connect(&server);
+    let slow = spec("drain-me", "sleep:300", 0);
+    let SubmitReply::Accepted { id, .. } = client.submit(&slow).expect("submit") else {
+        panic!("expected acceptance");
+    };
+
+    client.shutdown().expect("shutdown");
+    // New work is refused while draining...
+    let refused = client.submit(&spec("too-late", "", 1)).expect("submit");
+    assert_eq!(refused, SubmitReply::Draining);
+
+    // ...but the in-flight job still runs to completion.
+    let res = client.wait_result(&id).expect("result");
+    assert_eq!(res.state, JobState::Done);
+    server.join();
+    assert_eq!(
+        server
+            .scheduler()
+            .job(&id)
+            .expect("job survives")
+            .view()
+            .state,
+        JobState::Done
+    );
+}
+
+#[test]
+fn wall_clock_timeout_fails_the_job_but_not_the_server() {
+    let server = start(8, 1, 100);
+    let mut client = connect(&server);
+    let SubmitReply::Accepted { id, .. } = client
+        .submit(&spec("togslow", "sleep:60000", 0))
+        .expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    let res = client.wait_result(&id).expect("result");
+    assert_eq!(res.state, JobState::TimedOut);
+    assert_eq!(metric(&mut client, "timed_out"), 1);
+
+    // The worker is free again: a fast job still completes.
+    let SubmitReply::Accepted { id, .. } = client
+        .submit(&spec("after-timeout", "", 0))
+        .expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    assert_eq!(
+        client.wait_result(&id).expect("result").state,
+        JobState::Done
+    );
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn queued_jobs_can_be_cancelled() {
+    let server = start(8, 1, 60_000);
+    let mut client = connect(&server);
+    // Occupy the single worker...
+    let SubmitReply::Accepted { id: busy, .. } = client
+        .submit(&spec("busy", "sleep:400", 0))
+        .expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    // ...so this one stays queued and can be cancelled outright.
+    let SubmitReply::Accepted {
+        id: queued, state, ..
+    } = client.submit(&spec("queued", "", 7)).expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    assert_eq!(state, JobState::Queued);
+    assert_eq!(client.cancel(&queued).expect("cancel"), JobState::Cancelled);
+    assert_eq!(
+        client.wait_result(&queued).expect("result").state,
+        JobState::Cancelled
+    );
+    assert_eq!(
+        client.wait_result(&busy).expect("result").state,
+        JobState::Done
+    );
+    assert_eq!(metric(&mut client, "cancelled"), 1);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn a_panicking_job_fails_alone() {
+    let server = start(8, 1, 60_000);
+    let mut client = connect(&server);
+    let SubmitReply::Accepted { id, .. } = client
+        .submit(&spec("poisoned", "panic", 0))
+        .expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    let res = client.wait_result(&id).expect("result");
+    assert_eq!(res.state, JobState::Failed);
+    assert!(
+        res.error.as_deref().unwrap_or("").contains("panicked"),
+        "error should name the panic: {:?}",
+        res.error
+    );
+
+    // Server lives: the next job on the same worker completes.
+    let SubmitReply::Accepted { id, .. } = client.submit(&spec("survivor", "", 0)).expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    assert_eq!(
+        client.wait_result(&id).expect("result").state,
+        JobState::Done
+    );
+    assert_eq!(metric(&mut client, "failed"), 1);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn watch_streams_progress_events_until_terminal() {
+    let server = start(8, 1, 60_000);
+    let mut client = connect(&server);
+    let SubmitReply::Accepted { id, .. } = client
+        .submit(&spec("watched", "sleep:100", 0))
+        .expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    // A second connection watches while the first keeps the job's
+    // submit connection open (connections are independent).
+    let mut watcher = connect(&server);
+    let mut events = Vec::new();
+    let final_state = watcher
+        .watch(&id, |done, total, msg| {
+            events.push((done, total, msg.to_string()))
+        })
+        .expect("watch");
+    assert_eq!(final_state, JobState::Done);
+    assert!(
+        events.len() >= 2,
+        "expected streamed events, got {events:?}"
+    );
+    assert_eq!(events[0].2, "started");
+    assert_eq!(events.last().map(|e| e.2.as_str()), Some("finished"));
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn duplicate_in_flight_submissions_coalesce() {
+    let server = start(8, 1, 60_000);
+    let mut client = connect(&server);
+    let s = spec("dup", "sleep:200", 0);
+    let SubmitReply::Accepted { id, .. } = client.submit(&s).expect("submit") else {
+        panic!("expected acceptance");
+    };
+    let SubmitReply::Accepted {
+        id: id2, cached, ..
+    } = client.submit(&s).expect("dup submit")
+    else {
+        panic!("expected acceptance");
+    };
+    assert_eq!(id, id2);
+    assert!(!cached, "in-flight duplicate is coalesced, not a cache hit");
+    // Only one execution: accepted counts the first admission only.
+    assert_eq!(metric(&mut client, "accepted"), 1);
+    assert_eq!(
+        client.wait_result(&id).expect("result").state,
+        JobState::Done
+    );
+    client.shutdown().expect("shutdown");
+    server.join();
+}
