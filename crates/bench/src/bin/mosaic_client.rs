@@ -10,13 +10,13 @@
 //! with shell pipelines; `submit --wait` additionally prints the
 //! result payload (the experiment's golden-format JSON) to stdout.
 
-use mosaic_serve::{Client, JobSpec, JobState, Request, SubmitReply};
+use mosaic_serve::{Client, JobSpec, JobState, Request, RetryPolicy, SubmitReply};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mosaic-client [--addr HOST:PORT] COMMAND\n\
          commands:\n  \
-         submit EXPERIMENT [--scale tiny|small|full] [--cols N --rows N] [--sanitize] [--wait] [--watch]\n  \
+         submit EXPERIMENT [--scale tiny|small|full] [--cols N --rows N] [--sanitize] [--faults SPEC] [--wait] [--watch]\n  \
          status ID\n  \
          result ID\n  \
          watch ID\n  \
@@ -41,7 +41,9 @@ fn main() {
         usage();
     }
     let command = args.remove(0);
-    let mut client = Client::connect(&addr)
+    // Bounded connect retries: tolerates a daemon that is still
+    // binding (or being restarted by a supervisor) without hanging.
+    let mut client = Client::connect_with_retry(&addr, &RetryPolicy::with_attempts(3))
         .unwrap_or_else(|e| panic!("cannot connect to serve daemon at {addr}: {e}"));
 
     let fail = |e: String| -> ! {
@@ -75,6 +77,7 @@ fn main() {
                             .unwrap_or_else(|| usage());
                     }
                     "--sanitize" => spec.sanitize = true,
+                    "--faults" => spec.faults = it.next().unwrap_or_else(|| usage()),
                     "--wait" => wait = true,
                     "--watch" => watch = true,
                     _ => usage(),

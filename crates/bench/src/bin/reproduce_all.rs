@@ -22,7 +22,7 @@
 
 use mosaic_bench::golden::{self, GoldenFile};
 use mosaic_bench::service::EXPERIMENTS;
-use mosaic_serve::{Client, JobSpec, JobState, SubmitReply};
+use mosaic_serve::{Client, JobSpec, JobState, RetryPolicy, SubmitReply};
 use std::process::Command;
 
 fn main() {
@@ -83,6 +83,7 @@ fn via_server(addr: &str, flags: &[String]) {
     let mut cols: u16 = 0;
     let mut rows: u16 = 0;
     let mut sanitize = false;
+    let mut faults = String::new();
     let mut check = false;
     let mut write = false;
     let mut it = flags.iter();
@@ -101,6 +102,7 @@ fn via_server(addr: &str, flags: &[String]) {
                 rows = 8;
             }
             "--sanitize" => sanitize = true,
+            "--faults" => faults = value("--faults"),
             "--check-golden" => check = true,
             "--write-golden" => write = true,
             "--jobs" => {
@@ -111,10 +113,13 @@ fn via_server(addr: &str, flags: &[String]) {
         }
     }
 
-    let mut client = Client::connect(addr).unwrap_or_else(|e| {
-        eprintln!("cannot connect to serve daemon at {addr}: {e}");
-        std::process::exit(1);
-    });
+    // Retry the connect: a freshly launched daemon may still be
+    // binding its listener when the reproduction script reaches us.
+    let mut client = Client::connect_with_retry(addr, &RetryPolicy::with_attempts(5))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot connect to serve daemon at {addr}: {e}");
+            std::process::exit(1);
+        });
 
     // Submit everything up front so the daemon's queue and worker
     // pool see the whole sweep, then collect in deterministic order.
@@ -125,6 +130,7 @@ fn via_server(addr: &str, flags: &[String]) {
         spec.cols = cols;
         spec.rows = rows;
         spec.sanitize = sanitize;
+        spec.faults = faults.clone();
         match client.submit(&spec) {
             Ok(SubmitReply::Accepted { id, state, cached }) => {
                 eprintln!(

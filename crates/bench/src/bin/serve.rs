@@ -16,7 +16,8 @@
 //! rejected, queued and running jobs complete, then the process exits.
 
 use mosaic_bench::service::BinExecutor;
-use mosaic_serve::{SchedConfig, Server, ServerConfig};
+use mosaic_chaos::HostFaultPlan;
+use mosaic_serve::{Executor, FaultyExecutor, SchedConfig, Server, ServerConfig};
 use mosaic_sim::MachineConfig;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -26,6 +27,7 @@ fn main() {
     let mut cfg = ServerConfig::default();
     let mut workers: Option<usize> = None;
     let mut child_jobs: Option<usize> = None;
+    let mut chaos_host = HostFaultPlan::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -62,6 +64,17 @@ fn main() {
             }
             "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
             "--no-cache-dir" => cfg.cache_dir = None,
+            "--retries" => {
+                let attempts: u32 = value("--retries")
+                    .parse()
+                    .expect("--retries must be an integer");
+                cfg.sched.retry.max_attempts = attempts.max(1);
+            }
+            "--chaos-host" => {
+                let spec = value("--chaos-host");
+                chaos_host = HostFaultPlan::parse(&spec)
+                    .unwrap_or_else(|e| panic!("bad --chaos-host spec {spec:?}: {e}"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "mosaic serve daemon\n\
@@ -71,7 +84,10 @@ fn main() {
                      --child-jobs N         --jobs handed to each experiment child (default: fill the budget)\n         \
                      --timeout-secs N       per-job wall-clock timeout (default 600)\n         \
                      --cache-dir PATH       on-disk result cache (default results/cache)\n         \
-                     --no-cache-dir         memory-only cache"
+                     --no-cache-dir         memory-only cache\n         \
+                     --retries N            attempts per job incl. the first (default 1 = no retry)\n         \
+                     --chaos-host SPEC      inject host faults, e.g. panics=2,slow=100 (testing the\n                                \
+                     isolation/retry machinery; see mosaic-chaos)"
                 );
                 std::process::exit(0);
             }
@@ -96,10 +112,21 @@ fn main() {
 
     let executor = BinExecutor::beside_current_exe(child_jobs).expect("locate harness binaries");
     eprintln!(
-        "serve: {} workers x {} child jobs ({} host threads/sim, {} host cores), queue cap {}, timeout {:?}",
-        workers, child_jobs, threads_per_sim, host, cfg.sched.queue_cap, cfg.sched.job_timeout
+        "serve: {} workers x {} child jobs ({} host threads/sim, {} host cores), queue cap {}, timeout {:?}, {} attempts/job",
+        workers, child_jobs, threads_per_sim, host, cfg.sched.queue_cap, cfg.sched.job_timeout,
+        cfg.sched.retry.max_attempts
     );
-    let server = Server::start(cfg, Arc::new(executor)).expect("bind serve daemon");
+    let executor: Arc<dyn Executor> = if chaos_host.is_empty() {
+        Arc::new(executor)
+    } else {
+        eprintln!("serve: CHAOS host faults active ({})", chaos_host.to_spec());
+        Arc::new(FaultyExecutor::new(
+            Arc::new(executor),
+            chaos_host.panic_attempts,
+            Duration::from_millis(chaos_host.slow_ms),
+        ))
+    };
+    let server = Server::start(cfg, executor).expect("bind serve daemon");
     // Stdout carries exactly the bound address so scripts can scrape
     // the ephemeral port; everything else goes to stderr.
     println!("{}", server.local_addr());

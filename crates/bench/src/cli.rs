@@ -3,6 +3,7 @@
 //! and the golden-number modes).
 
 use crate::golden::{self, GoldenFile};
+use mosaic_chaos::FaultPlan;
 use mosaic_sim::MachineConfig;
 use mosaic_workloads::Scale;
 
@@ -43,6 +44,12 @@ pub struct Options {
     /// exit nonzero on any finding (`--sanitize`). Zero simulated-cycle
     /// cost: reported numbers are identical either way.
     pub sanitize: bool,
+    /// Deterministic fault-injection plan (`--faults SPEC`, see
+    /// `mosaic_chaos::FaultPlan::parse`); `None` = no injected faults
+    /// (zero cost). Timing-only plans change cycle counts but never
+    /// results; plans with bit flips corrupt results on purpose —
+    /// expect verification failures and golden drift.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Options {
@@ -64,6 +71,7 @@ impl Options {
             golden: GoldenMode::Run,
             golden_dir: None,
             sanitize: false,
+            faults: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -109,6 +117,12 @@ impl Options {
                     opts.golden_dir = Some(args.next().expect("--golden-dir needs a value").into());
                 }
                 "--sanitize" => opts.sanitize = true,
+                "--faults" => {
+                    let spec = args.next().expect("--faults needs a SPEC value");
+                    let plan = FaultPlan::parse(&spec)
+                        .unwrap_or_else(|e| panic!("bad --faults spec {spec:?}: {e}"));
+                    opts.faults = (!plan.is_empty()).then_some(plan);
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale tiny|small|full   input sizes\n         \
@@ -118,7 +132,9 @@ impl Options {
                          --check-golden             verify against results/golden/ (exit 1 on drift)\n         \
                          --write-golden             re-bless results/golden/ with this run\n         \
                          --golden-dir PATH          read/write goldens under PATH instead\n         \
-                         --sanitize                 run the memory-model sanitizer (exit 1 on findings)"
+                         --sanitize                 run the memory-model sanitizer (exit 1 on findings)\n         \
+                         --faults SPEC              inject deterministic faults (e.g. seed=7,horizon=100000,links=4x300;\n                                    \
+                         timing-only plans shift cycles, flip=... corrupts data on purpose)"
                     );
                     std::process::exit(0);
                 }
@@ -132,6 +148,7 @@ impl Options {
     pub fn machine(&self) -> MachineConfig {
         let mut m = MachineConfig::small(self.cols, self.rows);
         m.sanitize = self.sanitize;
+        m.faults = self.faults.clone();
         m
     }
 

@@ -27,6 +27,7 @@
 //! `mosaic-client` (its CLI). `reproduce_all --via-server ADDR`
 //! routes the whole reproduction through a running daemon.
 
+pub mod chaos;
 pub mod cli;
 pub mod golden;
 pub mod sanitize;

@@ -35,6 +35,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation_ruche",
     "ablation_dealing",
     "trace_run",
+    "chaos_sweep",
 ];
 
 /// Executor that runs experiment harness binaries as child processes.
@@ -82,6 +83,12 @@ impl BinExecutor {
                     .to_string(),
             );
         }
+        if !spec.faults.is_empty() {
+            // Reject malformed plans at admission instead of letting
+            // the child panic on its `--faults` flag.
+            mosaic_chaos::FaultPlan::parse(&spec.faults)
+                .map_err(|e| format!("bad faults spec {:?}: {e}", spec.faults))?;
+        }
         Ok(())
     }
 }
@@ -110,6 +117,9 @@ impl Executor for BinExecutor {
         }
         if spec.sanitize {
             cmd.arg("--sanitize");
+        }
+        if !spec.faults.is_empty() {
+            cmd.args(["--faults", &spec.faults]);
         }
         cmd.args(["--jobs", &self.child_jobs.to_string()]);
         cmd.arg("--write-golden").arg("--golden-dir").arg(&scratch);
@@ -241,6 +251,14 @@ mod tests {
 
         let mut bad = ok.clone();
         bad.seed = 3;
+        assert!(BinExecutor::validate(&bad).is_err());
+
+        let mut faulted = ok.clone();
+        faulted.faults = "seed=7,horizon=1000,freeze=2x100".into();
+        assert!(BinExecutor::validate(&faulted).is_ok());
+
+        let mut bad = ok.clone();
+        bad.faults = "not a plan".into();
         assert!(BinExecutor::validate(&bad).is_err());
     }
 

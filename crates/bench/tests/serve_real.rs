@@ -33,6 +33,7 @@ fn real_tiny_job_twice_second_is_cache_hit() {
             queue_cap: 4,
             workers: 1,
             job_timeout: Duration::from_secs(300),
+            ..SchedConfig::default()
         },
         cache_dir: None,
     };

@@ -1,0 +1,175 @@
+//! Divergence detection for data faults.
+//!
+//! Timing faults must be invisible in outputs; data faults must be
+//! *visible*. The [`DivergenceChecker`] enforces the second half of
+//! that contract: it runs a workload once under a fault plan and once
+//! fault-free, digests both payloads, and reports any mismatch. A bit
+//! flip that lands in a payload word therefore always produces a loud
+//! [`DivergenceReport`] — it is never silently absorbed into a
+//! "passing" run.
+
+use crate::plan::FaultPlan;
+
+/// FNV-1a 64-bit over a byte slice — the same digest family the serve
+/// stack uses for job cache keys, reimplemented here so `mosaic-chaos`
+/// stays dependency-free.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest a payload of 32-bit words (little-endian byte order, so the
+/// digest is platform-stable).
+pub fn payload_digest(words: &[u32]) -> u64 {
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// What one run of a workload produced, reduced to the facts the
+/// checker compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDigest {
+    /// Digest of the workload's output payload ([`payload_digest`]).
+    pub payload: u64,
+    /// Cycles the simulation took (reported, never compared — timing
+    /// faults are expected to change it).
+    pub cycles: u64,
+    /// Whether the workload's own self-check passed.
+    pub verified: bool,
+}
+
+/// The outcome of a divergence check: the two digests plus the plan's
+/// spec string for the report text.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Canonical spec of the plan that was injected.
+    pub plan: String,
+    /// Digest of the faulted run.
+    pub faulted: RunDigest,
+    /// Digest of the fault-free rerun.
+    pub clean: RunDigest,
+}
+
+impl DivergenceReport {
+    /// Whether the faulted run's *results* differ from clean: payload
+    /// mismatch or self-check failure. Cycle deltas alone are not
+    /// divergence.
+    pub fn diverged(&self) -> bool {
+        self.faulted.payload != self.clean.payload || self.faulted.verified != self.clean.verified
+    }
+}
+
+impl std::fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "divergence check for plan [{}]", self.plan)?;
+        writeln!(
+            f,
+            "  faulted: payload {:016x} verified {} cycles {}",
+            self.faulted.payload, self.faulted.verified, self.faulted.cycles
+        )?;
+        writeln!(
+            f,
+            "  clean:   payload {:016x} verified {} cycles {}",
+            self.clean.payload, self.clean.verified, self.clean.cycles
+        )?;
+        if self.diverged() {
+            write!(f, "  verdict: DIVERGED (data fault visible in results)")
+        } else {
+            write!(
+                f,
+                "  verdict: identical results (cycle delta {:+})",
+                self.faulted.cycles as i128 - self.clean.cycles as i128
+            )
+        }
+    }
+}
+
+/// Runs a workload with and without a fault plan and diffs the
+/// results. The runner closure owns all simulator knowledge; the
+/// checker only sequences the two runs and compares digests.
+pub struct DivergenceChecker;
+
+impl DivergenceChecker {
+    /// Run `run` twice — first with `Some(plan)`, then fault-free with
+    /// `None` — and report. The faulted run goes first so a plan that
+    /// hangs or panics fails before the (known-good) baseline spends
+    /// time.
+    pub fn check<F>(plan: &FaultPlan, mut run: F) -> DivergenceReport
+    where
+        F: FnMut(Option<&FaultPlan>) -> RunDigest,
+    {
+        let faulted = run(Some(plan));
+        let clean = run(None);
+        DivergenceReport {
+            plan: plan.to_spec(),
+            faulted,
+            clean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_digest_is_order_and_value_sensitive() {
+        assert_eq!(payload_digest(&[1, 2, 3]), payload_digest(&[1, 2, 3]));
+        assert_ne!(payload_digest(&[1, 2, 3]), payload_digest(&[3, 2, 1]));
+        assert_ne!(payload_digest(&[1, 2, 3]), payload_digest(&[1, 2]));
+    }
+
+    #[test]
+    fn identical_runs_do_not_diverge() {
+        let plan = FaultPlan::timing(3);
+        let report = DivergenceChecker::check(&plan, |_| RunDigest {
+            payload: 42,
+            cycles: 1000,
+            verified: true,
+        });
+        assert!(!report.diverged());
+        assert!(report.to_string().contains("identical results"));
+    }
+
+    #[test]
+    fn payload_mismatch_diverges() {
+        let plan = FaultPlan::parse("flip=dram:0:0@end").unwrap();
+        let report = DivergenceChecker::check(&plan, |faults| RunDigest {
+            payload: if faults.is_some() { 41 } else { 42 },
+            cycles: 1000,
+            verified: true,
+        });
+        assert!(report.diverged());
+        assert!(report.to_string().contains("DIVERGED"));
+    }
+
+    #[test]
+    fn verification_mismatch_diverges_even_with_equal_payloads() {
+        let plan = FaultPlan::parse("flip=spm:0:0:0@end").unwrap();
+        let report = DivergenceChecker::check(&plan, |faults| RunDigest {
+            payload: 42,
+            cycles: 1000,
+            verified: faults.is_none(),
+        });
+        assert!(report.diverged());
+    }
+
+    #[test]
+    fn cycle_deltas_alone_are_not_divergence() {
+        let plan = FaultPlan::timing(5);
+        let report = DivergenceChecker::check(&plan, |faults| RunDigest {
+            payload: 42,
+            cycles: if faults.is_some() { 1200 } else { 1000 },
+            verified: true,
+        });
+        assert!(!report.diverged());
+        assert!(report.to_string().contains("+200"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Host-level fault plans: executor panics and artificial slowness
+//! injected into the serve stack.
+//!
+//! Unlike the machine families, host faults perturb the *service*
+//! around the simulator — they exist to exercise panic isolation, job
+//! timeouts, and retry-with-backoff. The plan is a tiny spec string
+//! (`panics=N,slow=MS`) so the serve daemon can accept it on the
+//! command line without depending on the full simulator fault model.
+
+/// A host fault plan: fail the first `panic_attempts` executions of
+/// each job, and add `slow_ms` of artificial latency to every
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostFaultPlan {
+    /// Number of leading attempts per job that panic (0 = never).
+    pub panic_attempts: u32,
+    /// Milliseconds of sleep added to every execution (0 = none).
+    pub slow_ms: u64,
+}
+
+impl HostFaultPlan {
+    /// Parse `panics=N,slow=MS` (either key optional; empty string is
+    /// the no-op plan).
+    pub fn parse(spec: &str) -> Result<HostFaultPlan, String> {
+        let mut plan = HostFaultPlan::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("host fault token {token:?} is not key=value"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("host fault {key} wants an integer, got {value:?}"))?;
+            match key {
+                "panics" => plan.panic_attempts = n as u32,
+                "slow" => plan.slow_ms = n,
+                other => return Err(format!("host fault: unknown key {other:?} (panics|slow)")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Canonical spec string; `parse` of the result reproduces the
+    /// plan.
+    pub fn to_spec(&self) -> String {
+        format!("panics={},slow={}", self.panic_attempts, self.slow_ms)
+    }
+
+    /// Whether the plan has any effect.
+    pub fn is_empty(&self) -> bool {
+        self.panic_attempts == 0 && self.slow_ms == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let plan = HostFaultPlan::parse("panics=2,slow=150").unwrap();
+        assert_eq!(
+            plan,
+            HostFaultPlan {
+                panic_attempts: 2,
+                slow_ms: 150
+            }
+        );
+        assert_eq!(HostFaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn empty_spec_is_the_noop_plan() {
+        let plan = HostFaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(HostFaultPlan::parse("wat=1").is_err());
+        assert!(HostFaultPlan::parse("panics=lots").is_err());
+        assert!(HostFaultPlan::parse("panics").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Tiny deterministic generator for fault-plan materialization.
+//!
+//! Splitmix64 (Steele et al., "Fast splittable pseudorandom number
+//! generators"): stateless-feeling, well mixed, and trivially stable
+//! across platforms — exactly what a reproducible fault schedule
+//! needs. Not suitable for cryptography, which is fine: chaos plans
+//! are test inputs, not secrets.
+
+/// A splitmix64 stream seeded once.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A stream seeded with `seed` (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 uniformly mixed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`). Modulo bias is
+    /// irrelevant at fault-schedule scales.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(SplitMix64::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Materialized fault schedules: the concrete, geometry-resolved form
+//! of a [`FaultPlan`](crate::FaultPlan) that the machine components
+//! consume directly (every window names its victim index and absolute
+//! cycle bounds).
+
+use crate::plan::FlipTarget;
+use crate::Cycle;
+
+/// The machine shape a plan is materialized against. The simulator
+/// fills this in from its `MachineConfig`; keeping it a plain struct
+/// means `mosaic-chaos` needs no dependency on the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultGeometry {
+    /// Number of cores.
+    pub cores: u32,
+    /// Number of NoC links (mesh `link_count()`).
+    pub links: u32,
+    /// Number of LLC banks.
+    pub llc_banks: u32,
+    /// DRAM capacity in 32-bit words (flip targets wrap to this).
+    pub dram_words: u64,
+    /// Per-core SPM capacity in 32-bit words.
+    pub spm_words: u32,
+}
+
+/// A half-open fault window `[start, end)` on victim `idx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Victim index (link or core, depending on the family).
+    pub idx: u32,
+    /// First cycle the fault is active.
+    pub start: Cycle,
+    /// First cycle the fault is no longer active.
+    pub end: Cycle,
+}
+
+impl Window {
+    /// Whether cycle `t` falls inside the window.
+    pub fn contains(&self, t: Cycle) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A latency-spike window: accesses starting inside `[start, end)` on
+/// victim `idx` pay `extra` additional cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpikeWindow {
+    /// Victim index (LLC bank; 0 for the channel-wide DRAM family).
+    pub idx: u32,
+    /// First cycle the spike is active.
+    pub start: Cycle,
+    /// First cycle the spike is no longer active.
+    pub end: Cycle,
+    /// Extra latency charged to accesses starting inside the window.
+    pub extra: Cycle,
+}
+
+impl SpikeWindow {
+    /// Whether cycle `t` falls inside the window.
+    pub fn contains(&self, t: Cycle) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A geometry-resolved bit flip, ready to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFlip {
+    /// Target word, already wrapped into the geometry.
+    pub target: FlipTarget,
+    /// Bit index, guaranteed `< 32`.
+    pub bit: u8,
+    /// Cycle at which to apply, `None` = at simulation end.
+    pub cycle: Option<Cycle>,
+}
+
+/// The full materialized schedule. Produced by
+/// [`FaultPlan::materialize`](crate::FaultPlan::materialize); consumed
+/// by the simulator's machine construction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// NoC link stall windows.
+    pub link_stalls: Vec<Window>,
+    /// LLC bank latency spikes.
+    pub bank_spikes: Vec<SpikeWindow>,
+    /// Channel-wide DRAM latency spikes.
+    pub dram_spikes: Vec<SpikeWindow>,
+    /// Per-core freeze windows.
+    pub core_freezes: Vec<Window>,
+    /// Scheduled bit flips, sorted by cycle (at-end flips last).
+    pub flips: Vec<ScheduledFlip>,
+}
+
+impl FaultSchedule {
+    /// Whether the schedule has no effects at all.
+    pub fn is_empty(&self) -> bool {
+        self.link_stalls.is_empty()
+            && self.bank_spikes.is_empty()
+            && self.dram_spikes.is_empty()
+            && self.core_freezes.is_empty()
+            && self.flips.is_empty()
+    }
+
+    /// Sort windows and flips into application order (stable and
+    /// deterministic). Called by `materialize`.
+    pub fn normalize(&mut self) {
+        self.link_stalls.sort_by_key(|w| (w.start, w.idx));
+        self.bank_spikes.sort_by_key(|w| (w.start, w.idx));
+        self.dram_spikes.sort_by_key(|w| (w.start, w.idx));
+        self.core_freezes.sort_by_key(|w| (w.start, w.idx));
+        // Timed flips in cycle order first, at-end flips after.
+        self.flips
+            .sort_by_key(|f| (f.cycle.is_none(), f.cycle.unwrap_or(0)));
+    }
+
+    /// Human-readable description of windows active at cycle `t`, for
+    /// watchdog / deadlock diagnostics. Empty string when nothing is
+    /// active.
+    pub fn active_at(&self, t: Cycle) -> String {
+        let mut out = Vec::new();
+        for w in self.link_stalls.iter().filter(|w| w.contains(t)) {
+            out.push(format!("link {} stalled [{}, {})", w.idx, w.start, w.end));
+        }
+        for w in self.bank_spikes.iter().filter(|w| w.contains(t)) {
+            out.push(format!(
+                "llc bank {} +{} cycles [{}, {})",
+                w.idx, w.extra, w.start, w.end
+            ));
+        }
+        for w in self.dram_spikes.iter().filter(|w| w.contains(t)) {
+            out.push(format!(
+                "dram channel +{} cycles [{}, {})",
+                w.extra, w.start, w.end
+            ));
+        }
+        for w in self.core_freezes.iter().filter(|w| w.contains(t)) {
+            out.push(format!("core {} frozen [{}, {})", w.idx, w.start, w.end));
+        }
+        out.join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_containment_is_half_open() {
+        let w = Window {
+            idx: 0,
+            start: 10,
+            end: 20,
+        };
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+    }
+
+    #[test]
+    fn normalize_orders_timed_flips_before_end_flips() {
+        let mut s = FaultSchedule {
+            flips: vec![
+                ScheduledFlip {
+                    target: FlipTarget::Dram { word: 1 },
+                    bit: 0,
+                    cycle: None,
+                },
+                ScheduledFlip {
+                    target: FlipTarget::Dram { word: 2 },
+                    bit: 0,
+                    cycle: Some(500),
+                },
+                ScheduledFlip {
+                    target: FlipTarget::Dram { word: 3 },
+                    bit: 0,
+                    cycle: Some(100),
+                },
+            ],
+            ..FaultSchedule::default()
+        };
+        s.normalize();
+        assert_eq!(s.flips[0].cycle, Some(100));
+        assert_eq!(s.flips[1].cycle, Some(500));
+        assert_eq!(s.flips[2].cycle, None);
+    }
+
+    #[test]
+    fn active_at_describes_live_windows() {
+        let s = FaultSchedule {
+            link_stalls: vec![Window {
+                idx: 3,
+                start: 0,
+                end: 100,
+            }],
+            core_freezes: vec![Window {
+                idx: 1,
+                start: 50,
+                end: 60,
+            }],
+            ..FaultSchedule::default()
+        };
+        let desc = s.active_at(55);
+        assert!(desc.contains("link 3 stalled"));
+        assert!(desc.contains("core 1 frozen"));
+        assert!(s.active_at(200).is_empty());
+    }
+}

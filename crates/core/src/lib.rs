@@ -87,4 +87,4 @@ pub use stats::{RunReport, WorkerStats};
 pub use trace::TraceEvent;
 
 pub use mosaic_mem::{Addr, AmoOp};
-pub use mosaic_sim::{Cycle, MachineConfig};
+pub use mosaic_sim::{Cycle, FaultPlan, MachineConfig, SimError};

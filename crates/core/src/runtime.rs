@@ -7,7 +7,7 @@ use crate::layout::Layout;
 use crate::static_sched;
 use crate::stats::{RunReport, WorkerStats};
 use crate::task::Registry;
-use mosaic_sim::{Engine, Machine, MachineConfig};
+use mosaic_sim::{Engine, Machine, MachineConfig, SimError};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -105,9 +105,27 @@ impl Mosaic {
     ///
     /// # Panics
     ///
-    /// Panics if any task panics, or if the SPM budget is
-    /// over-committed by the configuration.
+    /// Panics if any task panics, if the simulation fails to
+    /// terminate, or if the SPM budget is over-committed by the
+    /// configuration. Use [`Mosaic::try_run`] to receive a
+    /// [`SimError`] instead of a panic.
     pub fn run<F>(self, main: F) -> RunReport
+    where
+        F: FnOnce(&mut TaskCtx<'_>) + Send + 'static,
+    {
+        match self.try_run(main) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Mosaic::run`], but simulation failures (a panicked task,
+    /// a watchdog trip, a deadlock) come back as a [`SimError`] — an
+    /// embedding service can treat one poisoned run as a failed job
+    /// instead of aborting its process. Watchdog and deadlock errors
+    /// carry diagnostics with per-core engine state, per-core task
+    /// queue depths, and any active fault-injection windows.
+    pub fn try_run<F>(self, main: F) -> Result<RunReport, SimError>
     where
         F: FnOnce(&mut TaskCtx<'_>) + Send + 'static,
     {
@@ -123,6 +141,31 @@ impl Mosaic {
         });
         let map = machine.addr_map().clone();
         layout.initialize(&map, |addr, value| machine.poke(addr, value));
+
+        // Watchdog diagnostics: teach the machine to read per-core
+        // task-queue depths out of simulated memory, so a livelock or
+        // deadlock dump shows where work piled up. Host-side only;
+        // consulted only when a watchdog/deadlock error is built.
+        let queue_blocks: Vec<mosaic_sim::Addr> = (0..cores as u32)
+            .map(|c| layout.queue_block(&map, c))
+            .collect();
+        machine.set_watchdog_probe(Box::new(move |m| {
+            let mut out = String::from("  task queues (head/tail/depth):");
+            let mut any = false;
+            for (core, qa) in queue_blocks.iter().enumerate() {
+                let head = m.peek(qa.offset_words(1));
+                let tail = m.peek(qa.offset_words(2));
+                let depth = tail.wrapping_sub(head);
+                if depth != 0 {
+                    out.push_str(&format!(" core {core}: {head}/{tail}/{depth};"));
+                    any = true;
+                }
+            }
+            if !any {
+                out.push_str(" all empty");
+            }
+            out
+        }));
 
         // Teach the attached sanitizer (if any) this run's layout —
         // lock words, intentional sync ranges, stack geometry — and
@@ -154,7 +197,7 @@ impl Mosaic {
             Arc::new(Mutex::new(Some(Box::new(main))));
 
         let sh_factory = shared.clone();
-        let mut report = Engine::run(machine, move |core| {
+        let mut report = Engine::try_run(machine, move |core| {
             let sh = sh_factory.clone();
             let main_cell = main_cell.clone();
             Box::new(move |api| {
@@ -171,7 +214,7 @@ impl Mosaic {
                 }
                 ctx.finish();
             })
-        });
+        })?;
 
         debug_assert!(
             shared.registry.is_empty(),
@@ -188,7 +231,7 @@ impl Mosaic {
             .map(|t| std::mem::take(&mut *t.lock()))
             .unwrap_or_default();
         let sanitizer = report.machine.take_sanitizer_report();
-        RunReport {
+        Ok(RunReport {
             cycles: report.cycles,
             counters: report.counters,
             machine: report.machine,
@@ -196,7 +239,7 @@ impl Mosaic {
             marks,
             trace,
             sanitizer,
-        }
+        })
     }
 }
 

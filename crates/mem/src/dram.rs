@@ -73,6 +73,11 @@ pub struct DramModel {
     writes: u64,
     row_hits: u64,
     row_misses: u64,
+    /// Injected channel-wide latency-spike windows, `(start, end,
+    /// extra)` half-open: accesses starting inside a window pay
+    /// `extra` more cycles. Empty in normal operation — fault
+    /// injection only.
+    spikes: Vec<(Cycle, Cycle, Cycle)>,
 }
 
 impl DramModel {
@@ -88,7 +93,16 @@ impl DramModel {
             writes: 0,
             row_hits: 0,
             row_misses: 0,
+            spikes: Vec::new(),
         }
+    }
+
+    /// Inject a fault window: accesses starting inside `[start, end)`
+    /// pay `extra` additional cycles (channel-wide — a refresh storm
+    /// or thermal throttle, not a per-bank event). Used by the chaos
+    /// subsystem; windows survive [`DramModel::reset_timing`].
+    pub fn inject_spike(&mut self, start: Cycle, end: Cycle, extra: Cycle) {
+        self.spikes.push((start, end, extra));
     }
 
     /// The channel parameters.
@@ -126,7 +140,16 @@ impl DramModel {
         let row = offset / self.config.row_bytes;
 
         let bank = &mut self.banks[bank_idx];
-        let start = cycle.max(bank.next_free);
+        let mut start = cycle.max(bank.next_free);
+        if !self.spikes.is_empty() {
+            // Overlapping injected windows stack.
+            start += self
+                .spikes
+                .iter()
+                .filter(|&&(s, e, _)| s <= start && start < e)
+                .map(|&(_, _, extra)| extra)
+                .sum::<Cycle>();
+        }
         let access_latency = match bank.open_row {
             Some(open) if open == row => {
                 self.row_hits += 1;
@@ -254,6 +277,23 @@ mod tests {
         }
         // Throughput cannot exceed one burst per t_bl on the shared bus.
         assert!(last >= n * cfg.t_bl);
+    }
+
+    #[test]
+    fn injected_spike_slows_accesses_inside_the_window() {
+        let mut d = DramModel::default();
+        let cfg = d.config().clone();
+        let miss_latency = cfg.t_rcd + cfg.t_cas + cfg.t_bl;
+        // Baseline cold miss.
+        assert_eq!(d.access(0, 0, false), miss_latency);
+        d.reset_timing();
+        // Spiked cold miss: starts 40 cycles later.
+        d.inject_spike(0, 100, 40);
+        assert_eq!(d.access(0, 0, false), 40 + miss_latency);
+        d.reset_timing();
+        // Outside the window (spikes survive reset_timing, but this
+        // access starts at 200 > end): normal latency again.
+        assert_eq!(d.access(0, 200, false), 200 + miss_latency);
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct Llc {
     config: LlcConfig,
     banks: Vec<LlcBank>,
     lru_clock: u64,
+    /// Injected latency-spike windows, `(bank, start, end, extra)`
+    /// half-open: accesses starting inside a window pay `extra` more
+    /// cycles. Empty in normal operation — fault injection only.
+    spikes: Vec<(u32, Cycle, Cycle, Cycle)>,
 }
 
 /// Result of timing one LLC access.
@@ -98,7 +102,27 @@ impl Llc {
             config,
             banks,
             lru_clock: 0,
+            spikes: Vec::new(),
         }
+    }
+
+    /// Inject a fault window: accesses to bank `bank` starting inside
+    /// `[start, end)` pay `extra` additional cycles. Used by the chaos
+    /// subsystem; windows survive [`Llc::reset`].
+    pub fn inject_bank_spike(&mut self, bank: u32, start: Cycle, end: Cycle, extra: Cycle) {
+        debug_assert!(bank < self.config.banks, "spike on unknown bank");
+        self.spikes.push((bank, start, end, extra));
+    }
+
+    /// Total extra latency injected windows charge an access to
+    /// `bank` starting at cycle `t` (overlapping windows stack).
+    #[inline]
+    fn spike_extra(&self, bank: usize, t: Cycle) -> Cycle {
+        self.spikes
+            .iter()
+            .filter(|&&(b, start, end, _)| b as usize == bank && start <= t && t < end)
+            .map(|&(_, _, _, extra)| extra)
+            .sum()
     }
 
     /// The cache geometry.
@@ -129,9 +153,18 @@ impl Llc {
         self.lru_clock += 1;
         let stamp = self.lru_clock;
         let ways = self.config.ways as usize;
+        // Injected fault windows slow the whole access down; computed
+        // before borrowing the bank mutably, and zero when no faults
+        // are scheduled.
+        let arrive = cycle.max(self.banks[bank_idx].next_free);
+        let extra = if self.spikes.is_empty() {
+            0
+        } else {
+            self.spike_extra(bank_idx, arrive)
+        };
         let bank = &mut self.banks[bank_idx];
 
-        let start = cycle.max(bank.next_free);
+        let start = arrive + extra;
         let slot = &mut bank.ways[set * ways..(set + 1) * ways];
 
         // Hit?
@@ -289,6 +322,30 @@ mod tests {
         llc.access(0, 0, false, &mut dram);
         llc.reset();
         assert!(!llc.access(0, 0, false, &mut dram).hit);
+    }
+
+    #[test]
+    fn injected_bank_spike_slows_accesses_inside_the_window() {
+        let (mut llc, mut dram) = tiny();
+        // Warm the line so both probes are hits with known latency.
+        let warm = llc.access(0, 0, false, &mut dram).done;
+        let baseline = llc.access(0, warm, false, &mut dram);
+        assert!(baseline.hit);
+        let hit_latency = llc.config().hit_latency;
+        assert_eq!(baseline.done, warm + hit_latency);
+        // Spike bank 0 around a later window and access inside it.
+        let t0 = baseline.done + 100;
+        llc.inject_bank_spike(0, t0, t0 + 50, 25);
+        let spiked = llc.access(0, t0, false, &mut dram);
+        assert!(spiked.hit);
+        assert_eq!(spiked.done, t0 + 25 + hit_latency);
+        // Outside the window, latency is back to normal.
+        let after = llc.access(0, t0 + 1000, false, &mut dram);
+        assert_eq!(after.done, t0 + 1000 + hit_latency);
+        // Windows survive reset (scheduled faults, not cache state).
+        llc.reset();
+        let cold = llc.access(0, t0, false, &mut dram);
+        assert!(!cold.hit);
     }
 
     #[test]

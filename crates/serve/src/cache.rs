@@ -70,6 +70,12 @@ impl ResultCache {
     /// entry (spec included, so cache files are self-describing) and
     /// the in-memory map. Disk write failures are reported but do not
     /// fail the job — the cache is an accelerator, not a ledger.
+    ///
+    /// The disk write is crash-safe: the entry is written to a
+    /// temporary file in the same directory and `rename`d into place,
+    /// so a daemon killed mid-write can never leave a torn
+    /// `<digest>.json` (the corrupt-is-a-miss fallback in
+    /// [`read_entry`] stays as defense in depth).
     pub fn insert(&self, digest: &str, spec: &JobSpec, payload: &str) {
         lock(&self.map).insert(digest.to_string(), payload.to_string());
         if let Some(path) = self.disk_path(digest) {
@@ -80,7 +86,16 @@ impl ResultCache {
                 .build();
             let mut text = entry.write();
             text.push('\n');
-            if let Err(e) = std::fs::write(&path, text) {
+            // Same directory as the final path so the rename cannot
+            // cross a filesystem boundary; pid-qualified so concurrent
+            // daemons sharing a cache directory don't collide.
+            let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+            let result = std::fs::write(&tmp, text).and_then(|()| {
+                std::fs::rename(&tmp, &path).inspect_err(|_| {
+                    let _ = std::fs::remove_file(&tmp);
+                })
+            });
+            if let Err(e) = result {
                 eprintln!("serve: cache write {} failed: {e}", path.display());
             }
         }

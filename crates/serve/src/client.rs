@@ -3,6 +3,7 @@
 
 use crate::job::{JobSpec, JobState};
 use crate::protocol::Request;
+use crate::scheduler::RetryPolicy;
 use jsonlite::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -54,6 +55,28 @@ impl Client {
         let out = TcpStream::connect(addr)?;
         let reader = BufReader::new(out.try_clone()?);
         Ok(Client { out, reader })
+    }
+
+    /// Connect with bounded retries under `policy` (exponential
+    /// backoff, deterministic jitter keyed on the address). Covers the
+    /// window where a daemon is still binding its listener — or was
+    /// just restarted by a supervisor — without hammering it.
+    pub fn connect_with_retry(addr: &str, policy: &RetryPolicy) -> std::io::Result<Client> {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 1..=max_attempts {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt < max_attempts {
+                        std::thread::sleep(policy.backoff(addr, attempt));
+                    }
+                }
+            }
+        }
+        // max_attempts >= 1, so at least one attempt stored an error.
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
     }
 
     /// Send one request line.

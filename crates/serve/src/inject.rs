@@ -1,0 +1,188 @@
+//! Host-side fault injection: an [`Executor`] decorator that makes the
+//! inner executor panic or stall on purpose.
+//!
+//! This is the serve-stack half of the chaos story (the simulator half
+//! lives in `mosaic-chaos` / `mosaic-sim`): wrap the real executor in a
+//! [`FaultyExecutor`] and the scheduler's isolation machinery —
+//! per-job `catch_unwind`, per-attempt timeouts, bounded
+//! retry-with-backoff — gets exercised by *deterministic* failures
+//! instead of waiting for rare real ones. Panics are injected on the
+//! first `panic_attempts` attempts of **each distinct job id**, so a
+//! retry policy with more attempts than that always recovers, and one
+//! with fewer always surfaces `Failed` — both outcomes are asserted by
+//! tests and the CI chaos smoke.
+//!
+//! The knobs mirror `mosaic_chaos::HostFaultPlan` but are plain fields
+//! here: `mosaic-serve` stays chaos-free so the dependency arrow keeps
+//! pointing from the harness into the service, never back.
+
+use crate::job::JobSpec;
+use crate::scheduler::Executor;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::sync::lock;
+
+/// Executor decorator injecting panics and slowness ahead of the inner
+/// executor.
+pub struct FaultyExecutor {
+    inner: Arc<dyn Executor>,
+    /// Panic this many leading attempts of each distinct job id.
+    panic_attempts: u32,
+    /// Sleep this long (in small cancellable slices) before every
+    /// attempt that is allowed to proceed.
+    slow: Duration,
+    attempts: Mutex<HashMap<String, u32>>,
+}
+
+impl FaultyExecutor {
+    /// Wrap `inner`: panic on the first `panic_attempts` attempts per
+    /// job id, then delay surviving attempts by `slow`.
+    pub fn new(inner: Arc<dyn Executor>, panic_attempts: u32, slow: Duration) -> FaultyExecutor {
+        FaultyExecutor {
+            inner,
+            panic_attempts,
+            slow,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attempts seen so far for `id` (test/metrics introspection).
+    pub fn attempts_for(&self, id: &str) -> u32 {
+        lock(&self.attempts).get(id).copied().unwrap_or(0)
+    }
+}
+
+impl Executor for FaultyExecutor {
+    fn run(
+        &self,
+        spec: &JobSpec,
+        progress: &dyn Fn(u64, u64, &str),
+        cancelled: &AtomicBool,
+    ) -> Result<String, String> {
+        let id = spec.digest();
+        let attempt = {
+            let mut g = lock(&self.attempts);
+            let n = g.entry(id).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if attempt <= self.panic_attempts {
+            progress(0, 0, &format!("chaos: injected panic on attempt {attempt}"));
+            panic!(
+                "chaos: injected host fault (attempt {attempt} of {})",
+                self.panic_attempts
+            );
+        }
+        if !self.slow.is_zero() {
+            progress(0, 0, "chaos: injected slowness");
+            // Sleep in slices so cancellation/timeout reclaims the
+            // thread promptly instead of after the full stall.
+            let mut left = self.slow;
+            let slice = Duration::from_millis(20);
+            while !left.is_zero() {
+                if cancelled.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err("cancelled during injected slowness".to_string());
+                }
+                let step = left.min(slice);
+                std::thread::sleep(step);
+                left -= step;
+            }
+        }
+        self.inner.run(spec, progress, cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+    use crate::job::JobState;
+    use crate::scheduler::{RetryPolicy, SchedConfig, Scheduler, Submit};
+    use std::sync::atomic::Ordering;
+
+    struct Echo;
+    impl Executor for Echo {
+        fn run(
+            &self,
+            spec: &JobSpec,
+            _progress: &dyn Fn(u64, u64, &str),
+            _cancelled: &AtomicBool,
+        ) -> Result<String, String> {
+            Ok(format!("{{\"experiment\":\"{}\"}}", spec.experiment))
+        }
+    }
+
+    fn sched_with(panics: u32, attempts: u32) -> Arc<Scheduler> {
+        let cfg = SchedConfig {
+            retry: RetryPolicy {
+                max_attempts: attempts,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+            },
+            ..SchedConfig::default()
+        };
+        let faulty = FaultyExecutor::new(Arc::new(Echo), panics, Duration::ZERO);
+        Scheduler::start(cfg, ResultCache::new(None).unwrap(), Arc::new(faulty))
+    }
+
+    #[test]
+    fn injected_panics_recover_within_the_retry_budget() {
+        let sched = sched_with(2, 3);
+        let Submit::Enqueued(job) = sched.submit(JobSpec::new("table1", "tiny")) else {
+            panic!("expected enqueue");
+        };
+        let view = job.wait_terminal();
+        assert_eq!(view.state, JobState::Done);
+        assert_eq!(view.payload.as_deref(), Some("{\"experiment\":\"table1\"}"));
+        assert_eq!(sched.metrics.retries.load(Ordering::Relaxed), 2);
+        assert_eq!(sched.metrics.completed.load(Ordering::Relaxed), 1);
+        assert_eq!(sched.metrics.failed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn injected_panics_beyond_the_budget_fail_cleanly() {
+        let sched = sched_with(3, 2);
+        let Submit::Enqueued(job) = sched.submit(JobSpec::new("table1", "tiny")) else {
+            panic!("expected enqueue");
+        };
+        let view = job.wait_terminal();
+        assert_eq!(view.state, JobState::Failed);
+        let err = view.error.unwrap();
+        assert!(
+            err.contains("injected host fault"),
+            "unexpected error: {err}"
+        );
+        assert_eq!(sched.metrics.retries.load(Ordering::Relaxed), 1);
+        assert_eq!(sched.metrics.failed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn slowness_is_survivable_and_cancellable() {
+        let faulty = FaultyExecutor::new(Arc::new(Echo), 0, Duration::from_millis(30));
+        let spec = JobSpec::new("table1", "tiny");
+        let flag = AtomicBool::new(false);
+        let out = faulty.run(&spec, &|_, _, _| {}, &flag).unwrap();
+        assert!(out.contains("table1"));
+
+        let flag = AtomicBool::new(true);
+        let err = faulty.run(&spec, &|_, _, _| {}, &flag).unwrap_err();
+        assert!(err.contains("cancelled"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn attempt_counts_are_per_job_id() {
+        let faulty = FaultyExecutor::new(Arc::new(Echo), 0, Duration::ZERO);
+        let a = JobSpec::new("table1", "tiny");
+        let b = JobSpec::new("table1", "small");
+        let flag = AtomicBool::new(false);
+        faulty.run(&a, &|_, _, _| {}, &flag).unwrap();
+        faulty.run(&a, &|_, _, _| {}, &flag).unwrap();
+        faulty.run(&b, &|_, _, _| {}, &flag).unwrap();
+        assert_eq!(faulty.attempts_for(&a.digest()), 2);
+        assert_eq!(faulty.attempts_for(&b.digest()), 1);
+        assert_eq!(faulty.attempts_for("unknown"), 0);
+    }
+}

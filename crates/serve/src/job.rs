@@ -35,6 +35,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Attach the memory-model sanitizer.
     pub sanitize: bool,
+    /// Canonical fault-plan spec string (`mosaic_chaos::FaultPlan`
+    /// syntax); empty = no injected faults. Part of the digest: a
+    /// faulted run is a different computation from a clean one and
+    /// must never share a cache entry with it.
+    pub faults: String,
 }
 
 impl JobSpec {
@@ -50,6 +55,7 @@ impl JobSpec {
             rows: 0,
             seed: 0,
             sanitize: false,
+            faults: String::new(),
         }
     }
 
@@ -64,6 +70,7 @@ impl JobSpec {
             .field("rows", self.rows as u64)
             .field("seed", self.seed)
             .field("sanitize", self.sanitize)
+            .field("faults", self.faults.as_str())
             .build()
     }
 
@@ -79,6 +86,12 @@ impl JobSpec {
             rows: obj.get("rows", "spec")?.as_u64()? as u16,
             seed: obj.get("seed", "spec")?.as_u64()?,
             sanitize: obj.get("sanitize", "spec")?.as_bool()?,
+            // Absent in specs written before fault injection existed
+            // (old cache entries, old clients): treat as "no faults".
+            faults: match obj.opt("faults") {
+                Some(f) => f.as_string()?,
+                None => String::new(),
+            },
         })
     }
 
@@ -176,6 +189,10 @@ mod tests {
         d.cols = 8;
         d.rows = 4;
         assert_ne!(a.digest(), d.digest());
+
+        let mut e = a.clone();
+        e.faults = "seed=7,horizon=1000,links=1x100".into();
+        assert_ne!(a.digest(), e.digest());
     }
 
     #[test]
@@ -187,7 +204,21 @@ mod tests {
         s.rows = 8;
         s.seed = 7;
         s.sanitize = true;
+        s.faults = "seed=3,horizon=5000,freeze=2x100".into();
         assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn pre_fault_specs_parse_with_no_faults() {
+        // Wire/cache forms written before the `faults` field existed
+        // must keep parsing (and mean "no injected faults").
+        let legacy = Json::parse(
+            r#"{"experiment":"table1","workload":"","config":"","scale":"tiny","cols":0,"rows":0,"seed":0,"sanitize":false}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&legacy).unwrap();
+        assert_eq!(spec.faults, "");
+        assert_eq!(spec.experiment, "table1");
     }
 
     #[test]

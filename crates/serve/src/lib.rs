@@ -33,6 +33,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod inject;
 pub mod job;
 pub mod metrics;
 pub mod protocol;
@@ -42,8 +43,9 @@ mod sync;
 
 pub use cache::ResultCache;
 pub use client::{Client, ResultReply, SubmitReply};
+pub use inject::FaultyExecutor;
 pub use job::{JobSpec, JobState};
 pub use metrics::Metrics;
 pub use protocol::Request;
-pub use scheduler::{Executor, JobRecord, JobView, SchedConfig, Scheduler, Submit};
+pub use scheduler::{Executor, JobRecord, JobView, RetryPolicy, SchedConfig, Scheduler, Submit};
 pub use server::{Server, ServerConfig};

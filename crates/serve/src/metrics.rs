@@ -23,6 +23,11 @@ pub struct Metrics {
     pub timed_out: AtomicU64,
     /// Jobs cancelled before completion.
     pub cancelled: AtomicU64,
+    /// Failed attempts that were retried under the retry policy.
+    pub retries: AtomicU64,
+    /// Job threads that died without delivering a result (distinct
+    /// from timeouts and executor errors).
+    pub worker_deaths: AtomicU64,
     /// Wall-clock latency of each terminal job, in milliseconds.
     latencies_ms: Mutex<Vec<u64>>,
 }
@@ -56,6 +61,8 @@ impl Metrics {
             .field("failed", self.failed.load(Ordering::Relaxed))
             .field("timed_out", self.timed_out.load(Ordering::Relaxed))
             .field("cancelled", self.cancelled.load(Ordering::Relaxed))
+            .field("retries", self.retries.load(Ordering::Relaxed))
+            .field("worker_deaths", self.worker_deaths.load(Ordering::Relaxed))
             .field("cache_hits", cache_hits)
             .field("cache_misses", cache_misses)
             .field("queue_depth", queue_depth as u64)
@@ -98,9 +105,13 @@ mod tests {
         for ms in [10u64, 20, 100] {
             m.observe_latency(Duration::from_millis(ms));
         }
+        m.retries.fetch_add(4, Ordering::Relaxed);
+        m.worker_deaths.fetch_add(1, Ordering::Relaxed);
         let snap = m.snapshot(1, 2, 5, 7);
         let obj = snap.as_object("snap").unwrap();
         assert_eq!(obj.get("accepted", "snap").unwrap().as_u64(), Ok(3));
+        assert_eq!(obj.get("retries", "snap").unwrap().as_u64(), Ok(4));
+        assert_eq!(obj.get("worker_deaths", "snap").unwrap().as_u64(), Ok(1));
         assert_eq!(obj.get("cache_hits", "snap").unwrap().as_u64(), Ok(5));
         assert_eq!(obj.get("queue_depth", "snap").unwrap().as_u64(), Ok(1));
         let lat = obj

@@ -51,9 +51,14 @@ pub struct SchedConfig {
     /// spawns one OS thread per simulated core — same rule
     /// `mosaic-bench`'s sweep pool applies per cell).
     pub workers: usize,
-    /// Per-job wall-clock timeout; expiry marks the job `timeout`,
-    /// flags it cancelled, and abandons its thread.
+    /// Per-*attempt* wall-clock timeout; expiry marks the job
+    /// `timeout`, flags it cancelled, and abandons its thread. A
+    /// timeout is terminal — it is never retried (the next attempt
+    /// would very likely burn the same budget again).
     pub job_timeout: Duration,
+    /// Bounded retry policy for failed attempts (executor errors,
+    /// panics, worker deaths). The default performs no retries.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SchedConfig {
@@ -62,7 +67,60 @@ impl Default for SchedConfig {
             queue_cap: 64,
             workers: 1,
             job_timeout: Duration::from_secs(600),
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+///
+/// Retrying is sound here because executors are required to be
+/// deterministic *in the spec* and side-effect-free beyond their
+/// scratch space — a failed attempt leaves nothing a rerun could
+/// trip over. Jitter is derived by hashing `(job id, attempt)` rather
+/// than sampled, so a given job's retry timeline is reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (min 1; 1 = never
+    /// retry).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Ceiling on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default backoff shape with `max_attempts` total attempts.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before attempt `attempt + 1`, given that attempt
+    /// `attempt` (1-based) just failed: `base * 2^(attempt-1)` capped
+    /// at `max_backoff`, scaled by a deterministic 50–100% jitter
+    /// derived from `(key, attempt)`.
+    pub fn backoff(&self, key: &str, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_backoff);
+        let h = crate::job::fnv1a64(format!("{key}:{attempt}").as_bytes());
+        let percent = 50 + (h % 51); // 50..=100
+        Duration::from_millis(capped.as_millis() as u64 * percent / 100)
     }
 }
 
@@ -374,10 +432,83 @@ impl Scheduler {
         }
     }
 
-    /// Execute one job on a detached thread with panic isolation and a
-    /// wall-clock timeout, then publish its terminal state.
+    /// Execute one job with panic isolation, a per-attempt wall-clock
+    /// timeout, and bounded retries, then publish its terminal state.
     fn run_one(&self, job: &Arc<JobRecord>) {
         job.set_state(|v| v.state = JobState::Running);
+        let max_attempts = self.cfg.retry.max_attempts.max(1);
+        let mut last_err = String::new();
+        for attempt in 1..=max_attempts {
+            let outcome = match self.run_attempt(job) {
+                Attempt::Finished(outcome) => outcome,
+                Attempt::TimedOut => {
+                    // Terminal: a rerun would very likely burn the
+                    // same wall-clock budget again. The executor sees
+                    // the cancel flag and kills whatever it drives;
+                    // the job thread is abandoned either way.
+                    job.request_cancel();
+                    // Counters first, terminal state last: waiters wake
+                    // on the state change and may read metrics at once.
+                    self.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.observe_latency(job.enqueued_at.elapsed());
+                    job.set_state(|v| v.state = JobState::TimedOut);
+                    return;
+                }
+                Attempt::WorkerDied => {
+                    // The job thread dropped its channel without
+                    // delivering a result — not a timeout, and
+                    // distinct from an executor error: classify and
+                    // count it separately.
+                    self.metrics.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                    Err("job worker thread died without delivering a result".to_string())
+                }
+            };
+            if job.is_cancelled() {
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                self.metrics.observe_latency(job.enqueued_at.elapsed());
+                job.set_state(|v| v.state = JobState::Cancelled);
+                return;
+            }
+            match outcome {
+                Ok(payload) => {
+                    self.cache.insert(&job.id, &job.spec, &payload);
+                    self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.observe_latency(job.enqueued_at.elapsed());
+                    job.set_state(|v| {
+                        v.state = JobState::Done;
+                        v.payload = Some(payload);
+                    });
+                    return;
+                }
+                Err(e) => {
+                    last_err = e;
+                    if attempt < max_attempts {
+                        self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                        let delay = self.cfg.retry.backoff(&job.id, attempt);
+                        let view = job.view();
+                        job.push_event(
+                            view.done,
+                            view.total,
+                            &format!(
+                                "attempt {attempt}/{max_attempts} failed ({last_err}); \
+                                 retrying in {delay:?}"
+                            ),
+                        );
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+        self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.observe_latency(job.enqueued_at.elapsed());
+        job.set_state(|v| {
+            v.state = JobState::Failed;
+            v.error = Some(last_err);
+        });
+    }
+
+    /// One execution attempt on a detached thread.
+    fn run_attempt(&self, job: &Arc<JobRecord>) -> Attempt {
         let (tx, rx) = mpsc::channel::<Result<String, String>>();
         {
             let job = Arc::clone(job);
@@ -395,48 +526,28 @@ impl Scheduler {
                     .unwrap_or_else(|panic| {
                         Err(format!("job panicked: {}", panic_message(&panic)))
                     });
-                    // The worker only disconnects on timeout; nothing
-                    // left to deliver then.
+                    // Send fails only if the worker stopped listening
+                    // (timeout); nothing left to deliver then.
                     let _ = tx.send(outcome);
                 })
                 .expect("spawn job thread");
         }
-        let outcome = match rx.recv_timeout(self.cfg.job_timeout) {
-            Ok(r) => r,
-            Err(RecvTimeoutError::Timeout) => {
-                // Flag the executor so it can kill whatever it is
-                // driving; the job thread is abandoned either way.
-                job.request_cancel();
-                job.set_state(|v| v.state = JobState::TimedOut);
-                self.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
-                self.metrics.observe_latency(job.enqueued_at.elapsed());
-                return;
-            }
-            Err(RecvTimeoutError::Disconnected) => Err("job thread vanished".to_string()),
-        };
-        match outcome {
-            _ if job.is_cancelled() => {
-                job.set_state(|v| v.state = JobState::Cancelled);
-                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-            }
-            Ok(payload) => {
-                self.cache.insert(&job.id, &job.spec, &payload);
-                job.set_state(|v| {
-                    v.state = JobState::Done;
-                    v.payload = Some(payload);
-                });
-                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(e) => {
-                job.set_state(|v| {
-                    v.state = JobState::Failed;
-                    v.error = Some(e);
-                });
-                self.metrics.failed.fetch_add(1, Ordering::Relaxed);
-            }
+        match rx.recv_timeout(self.cfg.job_timeout) {
+            Ok(r) => Attempt::Finished(r),
+            Err(RecvTimeoutError::Timeout) => Attempt::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => Attempt::WorkerDied,
         }
-        self.metrics.observe_latency(job.enqueued_at.elapsed());
     }
+}
+
+/// How one execution attempt ended.
+enum Attempt {
+    /// The executor returned (or panicked, mapped to `Err`).
+    Finished(Result<String, String>),
+    /// The attempt exceeded the per-attempt timeout.
+    TimedOut,
+    /// The job thread died without delivering a result.
+    WorkerDied,
 }
 
 fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {

@@ -3,7 +3,8 @@
 //! timeouts, panic isolation, progress streaming, graceful drain.
 
 use mosaic_serve::{
-    Client, Executor, JobSpec, JobState, SchedConfig, Server, ServerConfig, SubmitReply,
+    Client, Executor, FaultyExecutor, JobSpec, JobState, RetryPolicy, SchedConfig, Server,
+    ServerConfig, SubmitReply,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -54,6 +55,7 @@ fn start(queue_cap: usize, workers: usize, timeout_ms: u64) -> Server {
             queue_cap,
             workers,
             job_timeout: Duration::from_millis(timeout_ms),
+            ..SchedConfig::default()
         },
         cache_dir: None,
     };
@@ -281,6 +283,63 @@ fn watch_streams_progress_events_until_terminal() {
     assert_eq!(events.last().map(|e| e.2.as_str()), Some("finished"));
     client.shutdown().expect("shutdown");
     server.join();
+}
+
+#[test]
+fn injected_host_panics_recover_through_the_retry_policy() {
+    // The full chaos-recovery path over TCP: the executor panics on
+    // the first two attempts of every job, the retry policy allows
+    // three, so every submission still completes — and the recovery is
+    // visible in the metrics.
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sched: SchedConfig {
+            queue_cap: 8,
+            workers: 1,
+            job_timeout: Duration::from_secs(60),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+            },
+        },
+        cache_dir: None,
+    };
+    let faulty = FaultyExecutor::new(Arc::new(TestExec), 2, Duration::from_millis(10));
+    let server = Server::start(cfg, Arc::new(faulty)).expect("start server");
+
+    // Connect-with-retry also covers the client half of resilience.
+    let mut client = Client::connect_with_retry(
+        &server.local_addr().to_string(),
+        &RetryPolicy::with_attempts(3),
+    )
+    .expect("connect");
+    let SubmitReply::Accepted { id, .. } = client.submit(&spec("chaotic", "", 0)).expect("submit")
+    else {
+        panic!("expected acceptance");
+    };
+    let res = client.wait_result(&id).expect("result");
+    assert_eq!(res.state, JobState::Done);
+    assert_eq!(metric(&mut client, "retries"), 2);
+    assert_eq!(metric(&mut client, "completed"), 1);
+    assert_eq!(metric(&mut client, "failed"), 0);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn connect_with_retry_gives_up_after_the_budget() {
+    // Nothing listens on a port we grab and immediately release.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+    };
+    assert!(Client::connect_with_retry(&addr, &policy).is_err());
 }
 
 #[test]

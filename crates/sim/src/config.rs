@@ -1,6 +1,7 @@
 //! Whole-machine configuration.
 
 use crate::Cycle;
+use mosaic_chaos::FaultPlan;
 use mosaic_mem::{DramConfig, LlcConfig};
 use mosaic_mesh::MeshConfig;
 
@@ -36,6 +37,13 @@ pub struct MachineConfig {
     /// access. Host-side checking only: no simulated cycle changes, so
     /// all reported numbers are byte-identical either way.
     pub sanitize: bool,
+    /// Seeded fault-injection plan (`mosaic-chaos`). `None` (normal
+    /// operation) is zero-cost: all timing and results are
+    /// byte-identical to a build without the hooks. A timing-only plan
+    /// changes cycle counts but must never change computed results; a
+    /// plan with bit flips corrupts state on purpose and is expected
+    /// to be caught by divergence checking.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -87,6 +95,7 @@ impl MachineConfig {
             seed: 0xC0FFEE,
             max_cycles: 0,
             sanitize: false,
+            faults: None,
         }
     }
 

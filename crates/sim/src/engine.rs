@@ -72,6 +72,81 @@ struct Reply {
     now: Cycle,
 }
 
+/// Why a simulation failed. [`Engine::try_run`] surfaces these as a
+/// result so an embedding service degrades gracefully instead of
+/// aborting the host process; [`Engine::run`] converts them to panics
+/// for harnesses that want fail-fast behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A core's behaviour closure panicked; the simulation was wound
+    /// down and all threads joined before this was returned.
+    CorePanicked {
+        /// The offending core.
+        core: CoreId,
+        /// The panic message.
+        message: String,
+    },
+    /// A core thread died without delivering a final request — a bug
+    /// in the engine or a thread killed from outside.
+    CoreDied {
+        /// The dead core.
+        core: CoreId,
+    },
+    /// The watchdog tripped: simulated time passed
+    /// `MachineConfig::max_cycles` with cores still live.
+    Watchdog {
+        /// The configured cycle budget.
+        max_cycles: Cycle,
+        /// Cores still live when the watchdog fired.
+        live: usize,
+        /// Per-core state plus active fault windows at trip time.
+        diagnostics: String,
+    },
+    /// Every event drained but cores never halted (a modeled-program
+    /// deadlock: e.g. a blocking load whose wake was lost).
+    Deadlock {
+        /// Cores still live.
+        live: usize,
+        /// Per-core state plus active fault windows.
+        diagnostics: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CorePanicked { core, message } => {
+                write!(f, "core {core} panicked: {message}")
+            }
+            SimError::CoreDied { core } => write!(f, "core {core} thread died unexpectedly"),
+            SimError::Watchdog {
+                max_cycles,
+                live,
+                diagnostics,
+            } => write!(
+                f,
+                "watchdog: simulation passed {max_cycles} cycles with {live} cores live \
+                 (likely a modeled-program livelock){diagnostics}"
+            ),
+            SimError::Deadlock { live, diagnostics } => {
+                write!(
+                    f,
+                    "simulation deadlocked with {live} cores live{diagnostics}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Sentinel panic payload a core thread uses to unwind out of its
+/// behaviour closure when the engine has already gone away (its
+/// channels are closed). Raised with `resume_unwind` so the panic hook
+/// stays silent, and recognized by the core-thread wrapper, which
+/// exits cleanly instead of reporting a behaviour panic.
+struct EngineGone;
+
 /// Per-core engine-side state between events.
 enum Pending {
     /// Wake the core and deliver `value` (load/AMO result or 0).
@@ -226,8 +301,18 @@ impl CoreApi {
     }
 
     fn roundtrip(&mut self, req: Request) -> u32 {
-        self.req_tx.send(req).expect("engine vanished");
-        let reply = self.reply_rx.recv().expect("engine vanished");
+        // A closed channel means the engine aborted (another core
+        // panicked, the watchdog fired, ...). Unwind out of the
+        // behaviour closure with the EngineGone sentinel — the core
+        // thread's wrapper recognizes it and exits cleanly, without
+        // the process-aborting expect this used to be.
+        if self.req_tx.send(req).is_err() {
+            std::panic::resume_unwind(Box::new(EngineGone));
+        }
+        let reply = match self.reply_rx.recv() {
+            Ok(r) => r,
+            Err(_) => std::panic::resume_unwind(Box::new(EngineGone)),
+        };
         self.now = reply.now;
         reply.value
     }
@@ -249,8 +334,24 @@ impl Engine {
     /// # Panics
     ///
     /// Panics (after shutting down worker threads) if any core's
-    /// behaviour panics.
-    pub fn run<F>(machine: Machine, mut behaviors: F) -> Report
+    /// behaviour panics or the simulation fails to terminate; use
+    /// [`Engine::try_run`] to receive a [`SimError`] instead.
+    pub fn run<F>(machine: Machine, behaviors: F) -> Report
+    where
+        F: FnMut(CoreId) -> Box<dyn FnOnce(&mut CoreApi) + Send>,
+    {
+        match Self::try_run(machine, behaviors) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Engine::run`], but failures (a panicked behaviour, a
+    /// watchdog trip, a deadlock) come back as a [`SimError`] after
+    /// all core threads have been wound down and joined — one poisoned
+    /// simulation degrades to a failed result instead of aborting the
+    /// host process.
+    pub fn try_run<F>(machine: Machine, mut behaviors: F) -> Result<Report, SimError>
     where
         F: FnMut(CoreId) -> Box<dyn FnOnce(&mut CoreApi) + Send>,
     {
@@ -290,6 +391,12 @@ impl Engine {
                             instrs: api.take_instrs(),
                         },
                         Err(payload) => {
+                            if payload.is::<EngineGone>() {
+                                // The engine already went away; there
+                                // is nobody to report to and nothing
+                                // to report.
+                                return;
+                            }
                             let msg = payload
                                 .downcast_ref::<&str>()
                                 .map(|s| s.to_string())
@@ -313,10 +420,7 @@ impl Engine {
             let _ = h.join();
         }
 
-        match result {
-            Ok(report) => report,
-            Err(msg) => panic!("{msg}"),
-        }
+        result
     }
 
     fn event_loop(
@@ -324,7 +428,7 @@ impl Engine {
         cores: usize,
         req_rxs: &[Receiver<Request>],
         reply_txs: &[Sender<Reply>],
-    ) -> Result<Report, String> {
+    ) -> Result<Report, SimError> {
         let mut counters = MachineCounters::new(cores);
         let mut heap: BinaryHeap<Reverse<(Cycle, u64, CoreId)>> = BinaryHeap::new();
         let mut pending: Vec<Option<Pending>> = Vec::with_capacity(cores);
@@ -334,18 +438,32 @@ impl Engine {
         let mut live = cores;
         let mut last_halt = 0;
         let max_cycles = machine.config().max_cycles;
+        // One flag read up front: with no fault plan installed, the
+        // loop body below does no per-event fault work at all.
+        let faults = machine.faults_active();
 
         for core in 0..cores {
+            let at = if faults {
+                machine.freeze_adjust(core, 0)
+            } else {
+                0
+            };
             pending.push(Some(Pending::Wake(0)));
-            heap.push(Reverse((0, seq, core)));
+            heap.push(Reverse((at, seq, core)));
             seq += 1;
         }
 
         while let Some(Reverse((cycle, _, core))) = heap.pop() {
             if max_cycles > 0 && cycle > max_cycles {
-                return Err(format!(
-                    "watchdog: simulation passed {max_cycles} cycles with {live} cores live                      (likely a modeled-program livelock)"
-                ));
+                return Err(SimError::Watchdog {
+                    max_cycles,
+                    live,
+                    diagnostics: Self::diagnostics(&machine, cycle, &pending, &store_queues),
+                });
+            }
+            if faults {
+                // Apply any bit flips whose scheduled cycle has come.
+                machine.apply_flips_due(cycle);
             }
             let slot = pending[core]
                 .take()
@@ -354,11 +472,11 @@ impl Engine {
                 Pending::Wake(value) => {
                     // Wake the core thread and collect its next request.
                     if reply_txs[core].send(Reply { value, now: cycle }).is_err() {
-                        return Err(format!("core {core} thread died unexpectedly"));
+                        return Err(SimError::CoreDied { core });
                     }
                     let req = req_rxs[core]
                         .recv()
-                        .map_err(|_| format!("core {core} thread died unexpectedly"))?;
+                        .map_err(|_| SimError::CoreDied { core })?;
                     Self::handle_request(
                         core,
                         cycle,
@@ -396,7 +514,14 @@ impl Engine {
         }
 
         if live > 0 {
-            return Err(format!("simulation deadlocked with {live} cores live"));
+            let diagnostics = Self::diagnostics(&machine, last_halt, &pending, &store_queues);
+            return Err(SimError::Deadlock { live, diagnostics });
+        }
+
+        if faults {
+            // All cores halted: land the at-end bit flips in the final
+            // payload, after the last write.
+            machine.apply_end_flips();
         }
 
         Ok(Report {
@@ -404,6 +529,31 @@ impl Engine {
             machine,
             counters,
         })
+    }
+
+    /// Per-core state plus active fault windows, appended to watchdog
+    /// and deadlock errors so a trip under fault injection is
+    /// attributable without rerunning.
+    fn diagnostics(
+        machine: &Machine,
+        cycle: Cycle,
+        pending: &[Option<Pending>],
+        store_queues: &[Vec<Cycle>],
+    ) -> String {
+        let mut out = String::new();
+        for (core, slot) in pending.iter().enumerate() {
+            let state = match slot {
+                Some(Pending::Wake(_)) => "awaiting wake",
+                Some(Pending::Issue(_)) => "memory op deferred",
+                None => continue, // halted (or the core being processed)
+            };
+            out.push_str(&format!(
+                "\n  core {core}: {state}, {} outstanding stores",
+                store_queues[core].len()
+            ));
+        }
+        out.push_str(&machine.watchdog_dump(cycle));
+        out
     }
 
     /// Handle a fresh request from a just-woken core at `cycle`.
@@ -421,7 +571,7 @@ impl Engine {
         seq: &mut u64,
         live: &mut usize,
         last_halt: &mut Cycle,
-    ) -> Result<(), String> {
+    ) -> Result<(), SimError> {
         let (delay, instrs) = match &req {
             Request::Advance { delay, instrs }
             | Request::Load { delay, instrs, .. }
@@ -430,11 +580,16 @@ impl Engine {
             | Request::Fence { delay, instrs }
             | Request::Halt { delay, instrs } => (*delay, *instrs),
             Request::Panicked(msg) => {
-                return Err(format!("core {core} panicked: {msg}"));
+                return Err(SimError::CorePanicked {
+                    core,
+                    message: msg.clone(),
+                });
             }
         };
         counters.core_mut(core).instructions += instrs;
-        let issue = cycle + delay;
+        // An injected freeze window pushes the core's next action past
+        // the window (identity when no fault plan is installed).
+        let issue = machine.freeze_adjust(core, cycle + delay);
 
         match req {
             Request::Advance { .. } => {
@@ -534,6 +689,8 @@ impl Engine {
             }
             _ => unreachable!("issue_mem only handles memory requests"),
         };
+        // Freeze windows also delay the wakeup after a memory op.
+        let wake_at = machine.freeze_adjust(core, wake_at);
         pending[core] = Some(Pending::Wake(value));
         heap.push(Reverse((wake_at, *seq, core)));
         *seq += 1;
@@ -756,6 +913,117 @@ mod tests {
             (r.cycles, r.counters.total_instructions())
         };
         assert_eq!(run(false), run(true), "sanitizer must be zero-cost");
+    }
+
+    #[test]
+    fn try_run_surfaces_core_panic_as_error() {
+        let machine = Machine::new(MachineConfig::small(2, 1));
+        let result = Engine::try_run(machine, |core| {
+            Box::new(move |_api| {
+                if core == 1 {
+                    panic!("boom");
+                }
+            })
+        });
+        match result {
+            Err(SimError::CorePanicked { core, message }) => {
+                assert_eq!(core, 1);
+                assert_eq!(message, "boom");
+            }
+            other => panic!("expected CorePanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_surfaces_watchdog_with_diagnostics() {
+        let mut config = MachineConfig::small(2, 1);
+        config.max_cycles = 5_000;
+        let mut machine = Machine::new(config);
+        let flag = machine.dram_alloc_words(1);
+        let result = Engine::try_run(machine, move |core| {
+            Box::new(move |api| {
+                if core == 0 {
+                    while api.load(flag) == 0 {
+                        api.charge(1, 8);
+                    }
+                }
+            })
+        });
+        match result {
+            Err(SimError::Watchdog {
+                max_cycles,
+                live,
+                diagnostics,
+            }) => {
+                assert_eq!(max_cycles, 5_000);
+                assert_eq!(live, 1);
+                assert!(diagnostics.contains("core 0"), "diagnostics: {diagnostics}");
+            }
+            other => panic!("expected Watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timing_only_faults_preserve_results_and_change_cycles() {
+        use mosaic_chaos::FaultPlan;
+        let run = |faults: Option<FaultPlan>| {
+            let mut config = MachineConfig::small(2, 1);
+            config.faults = faults;
+            let mut machine = Machine::new(config);
+            let a = machine.dram_alloc_words(8);
+            let r = Engine::run(machine, move |core| {
+                Box::new(move |api| {
+                    for i in 0..20u64 {
+                        api.amo(a.offset_words(i % 8), AmoOp::Add, core as u32 + 1);
+                        api.store(a.offset_words((i + 3) % 8), 7);
+                        api.charge(3, 3);
+                    }
+                    api.fence();
+                })
+            });
+            (r.machine.peek_slice(a, 8), r.cycles)
+        };
+        let (clean_payload, clean_cycles) = run(None);
+        // The empty plan must be timing-identical to no plan at all.
+        let (empty_payload, empty_cycles) = run(Some(FaultPlan::default()));
+        assert_eq!(clean_payload, empty_payload);
+        assert_eq!(clean_cycles, empty_cycles, "empty plan must cost nothing");
+        // A real timing plan perturbs cycles but never results.
+        let plan = FaultPlan::parse(
+            "seed=3,horizon=100,links=8x200,banks=4x150+20,dram=2x300+50,freeze=2x400",
+        )
+        .expect("valid spec");
+        let (f_payload, f_cycles) = run(Some(plan));
+        assert_eq!(
+            clean_payload, f_payload,
+            "timing faults must not change results"
+        );
+        assert_ne!(clean_cycles, f_cycles, "timing plan should perturb cycles");
+    }
+
+    #[test]
+    fn end_flip_lands_in_final_payload() {
+        use mosaic_chaos::FaultPlan;
+        let run = |faults: Option<FaultPlan>| {
+            let mut config = MachineConfig::small(2, 1);
+            config.faults = faults;
+            let mut machine = Machine::new(config);
+            let a = machine.dram_alloc_words(1);
+            let r = Engine::run(machine, move |core| {
+                Box::new(move |api| {
+                    if core == 0 {
+                        api.store(a, 100);
+                        api.fence();
+                    }
+                })
+            });
+            let addr = a;
+            r.machine.peek(addr)
+        };
+        assert_eq!(run(None), 100);
+        // dram word 0 is the allocated word; flip bit 1: 100 ^ 2 = 102.
+        let plan = FaultPlan::parse("flip=dram:0:1@end").expect("valid spec");
+        assert_eq!(run(Some(plan)), 102, "end flip must corrupt the payload");
     }
 
     #[test]

@@ -57,8 +57,9 @@ pub mod machine;
 
 pub use config::MachineConfig;
 pub use counters::{CoreCounters, MachineCounters};
-pub use engine::{CoreApi, Engine, Report};
+pub use engine::{CoreApi, Engine, Report, SimError};
 pub use machine::Machine;
+pub use mosaic_chaos::FaultPlan;
 
 pub use mosaic_mem::{Addr, AmoOp, Region};
 
