@@ -4,8 +4,11 @@
 //! mesh.
 //!
 //! Open the output at <https://ui.perfetto.dev> (rows = cores; "local"
-//! vs "stolen" task spans are color-categorized; steal instants and
-//! user marks are flagged).
+//! vs "stolen" task spans are color-categorized; steal instants carry
+//! flow arrows from victim to thief; user marks are flagged). With
+//! `--profile`, the trace additionally carries a "cycles by bucket"
+//! counter track sampled once per profiler window (see
+//! `docs/observability.md`).
 
 use mosaic_bench::{Options, SanCell, SanitizeGate};
 use mosaic_runtime::{trace, RuntimeConfig};
@@ -21,7 +24,7 @@ fn main() {
     let out = bench.run(opts.machine(), cfg);
     out.assert_verified();
     let r = &out.report;
-    let json = trace::to_chrome_json(&r.trace);
+    let json = trace::to_chrome_json_with_profile(&r.trace, r.profile.as_ref());
     std::fs::create_dir_all("results").expect("mkdir results");
     std::fs::write("results/trace.json", &json).expect("write trace");
     let t = r.totals();

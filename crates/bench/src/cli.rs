@@ -50,6 +50,13 @@ pub struct Options {
     /// results; plans with bit flips corrupt results on purpose —
     /// expect verification failures and golden drift.
     pub faults: Option<FaultPlan>,
+    /// Attach the `mosaic-prof` cycle-attribution profiler to every run
+    /// (`--profile`). Like the sanitizer, zero simulated-cycle cost:
+    /// cycles and instructions are identical either way.
+    pub profile: bool,
+    /// Directory to write per-run profile JSON into (`--prof-out DIR`);
+    /// implies `--profile`. `None` = don't write profile files.
+    pub prof_out: Option<std::path::PathBuf>,
 }
 
 impl Options {
@@ -72,6 +79,8 @@ impl Options {
             golden_dir: None,
             sanitize: false,
             faults: None,
+            profile: false,
+            prof_out: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -117,6 +126,11 @@ impl Options {
                     opts.golden_dir = Some(args.next().expect("--golden-dir needs a value").into());
                 }
                 "--sanitize" => opts.sanitize = true,
+                "--profile" => opts.profile = true,
+                "--prof-out" => {
+                    opts.profile = true;
+                    opts.prof_out = Some(args.next().expect("--prof-out needs a DIR value").into());
+                }
                 "--faults" => {
                     let spec = args.next().expect("--faults needs a SPEC value");
                     let plan = FaultPlan::parse(&spec)
@@ -133,6 +147,8 @@ impl Options {
                          --write-golden             re-bless results/golden/ with this run\n         \
                          --golden-dir PATH          read/write goldens under PATH instead\n         \
                          --sanitize                 run the memory-model sanitizer (exit 1 on findings)\n         \
+                         --profile                  attach the cycle-attribution profiler (zero simulated cost)\n         \
+                         --prof-out DIR             write per-run profile JSON under DIR (implies --profile)\n         \
                          --faults SPEC              inject deterministic faults (e.g. seed=7,horizon=100000,links=4x300;\n                                    \
                          timing-only plans shift cycles, flip=... corrupts data on purpose)"
                     );
@@ -149,6 +165,7 @@ impl Options {
         let mut m = MachineConfig::small(self.cols, self.rows);
         m.sanitize = self.sanitize;
         m.faults = self.faults.clone();
+        m.profile = self.profile;
         m
     }
 

@@ -40,6 +40,17 @@ pub struct GoldenCell {
     pub verified: bool,
 }
 
+/// One named profiler counter attached to a golden file (a bucket
+/// total, a heatmap cell, a traffic count — anything `mosaic-prof`
+/// measured that the experiment wants gated exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenCounter {
+    /// Counter name, e.g. `dup-off/steal_search`.
+    pub name: String,
+    /// Exact value.
+    pub value: u64,
+}
+
 /// All cells of one experiment at one scale on one machine shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoldenFile {
@@ -53,6 +64,10 @@ pub struct GoldenFile {
     pub rows: u16,
     /// Measured cells, in deterministic experiment order.
     pub cells: Vec<GoldenCell>,
+    /// Profiler counters, in deterministic order. Serialized only when
+    /// non-empty, so goldens of experiments that don't profile are
+    /// byte-identical to the pre-profiler format.
+    pub counters: Vec<GoldenCounter>,
 }
 
 impl GoldenFile {
@@ -64,6 +79,7 @@ impl GoldenFile {
             cols,
             rows,
             cells: Vec::new(),
+            counters: Vec::new(),
         }
     }
 
@@ -82,6 +98,14 @@ impl GoldenFile {
             cycles,
             instructions,
             verified,
+        });
+    }
+
+    /// Append one named profiler counter.
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push(GoldenCounter {
+            name: name.into(),
+            value,
         });
     }
 
@@ -131,7 +155,25 @@ impl GoldenFile {
                 "\n"
             });
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ]");
+        if !self.counters.is_empty() {
+            s.push_str(",\n  \"profile\": [\n");
+            for (i, c) in self.counters.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "    {{\"counter\": {}, \"value\": {}}}",
+                    escape(&c.name),
+                    c.value
+                );
+                s.push_str(if i + 1 < self.counters.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            s.push_str("  ]");
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -146,6 +188,7 @@ impl GoldenFile {
             cols: machine.get("cols", "machine")?.as_u64()? as u16,
             rows: machine.get("rows", "machine")?.as_u64()? as u16,
             cells: Vec::new(),
+            counters: Vec::new(),
         };
         for (i, cell) in obj
             .get("cells", "top level")?
@@ -161,6 +204,15 @@ impl GoldenFile {
                 instructions: c.get("instructions", "cell")?.as_u64()?,
                 verified: c.get("verified", "cell")?.as_bool()?,
             });
+        }
+        if let Some(profile) = obj.opt("profile") {
+            for (i, counter) in profile.as_array("profile")?.iter().enumerate() {
+                let c = counter.as_object(&format!("profile[{i}]"))?;
+                file.counters.push(GoldenCounter {
+                    name: c.get("counter", "profile entry")?.as_string()?,
+                    value: c.get("value", "profile entry")?.as_u64()?,
+                });
+            }
         }
         Ok(file)
     }
@@ -228,6 +280,44 @@ impl GoldenFile {
                     f.workload.clone(),
                     f.config.clone(),
                     "cell".into(),
+                    "MISSING".into(),
+                    "present".into(),
+                ]);
+            }
+        }
+
+        let fresh_counters: std::collections::HashMap<&str, u64> = fresh
+            .counters
+            .iter()
+            .map(|c| (c.name.as_str(), c.value))
+            .collect();
+        let golden_names: std::collections::HashSet<&str> =
+            self.counters.iter().map(|c| c.name.as_str()).collect();
+        for g in &self.counters {
+            match fresh_counters.get(g.name.as_str()) {
+                None => out.push([
+                    "profile".into(),
+                    g.name.clone(),
+                    "counter".into(),
+                    "present".into(),
+                    "MISSING".into(),
+                ]),
+                Some(&v) if v != g.value => out.push([
+                    "profile".into(),
+                    g.name.clone(),
+                    "value".into(),
+                    g.value.to_string(),
+                    v.to_string(),
+                ]),
+                Some(_) => {}
+            }
+        }
+        for f in &fresh.counters {
+            if !golden_names.contains(f.name.as_str()) {
+                out.push([
+                    "profile".into(),
+                    f.name.clone(),
+                    "counter".into(),
                     "MISSING".into(),
                     "present".into(),
                 ]);
@@ -357,6 +447,35 @@ mod tests {
         let dir = std::env::temp_dir().join("golden-test-nonexistent-dir");
         let err = check_in(&dir, &sample()).unwrap_err();
         assert!(err.contains("--write-golden"), "{err}");
+    }
+
+    #[test]
+    fn counters_round_trip_and_diff() {
+        let mut g = sample();
+        g.push_counter("dup-off/steal_search", 992);
+        g.push_counter("dup-off/core0_inbound", 4096);
+        let parsed = GoldenFile::parse(&g.to_json()).unwrap();
+        assert_eq!(parsed, g);
+        assert!(g.diff(&parsed).is_empty());
+        let mut drift = g.clone();
+        drift.counters[0].value = 991;
+        drift.counters.pop();
+        let d = g.diff(&drift);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d
+            .iter()
+            .any(|r| r[1] == "dup-off/steal_search" && r[4] == "991"));
+        assert!(d
+            .iter()
+            .any(|r| r[1] == "dup-off/core0_inbound" && r[4] == "MISSING"));
+    }
+
+    #[test]
+    fn empty_counters_keep_the_legacy_format() {
+        // Experiments that don't profile must emit byte-identical JSON
+        // to the pre-profiler golden format.
+        assert!(!sample().to_json().contains("profile"));
+        assert!(sample().to_json().ends_with("  ]\n}\n"));
     }
 
     #[test]

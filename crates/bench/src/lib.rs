@@ -16,11 +16,17 @@
 //! | `fig09_speedup` | Fig. 9 speedup over the static baseline |
 //! | `fig10_dynamic` | Fig. 10 CilkSort + MatrixTranspose variants |
 //! | `fig11_scaling` | Fig. 11 scaling 1 to 128 cores |
-//! | `ablation_*` | design-choice ablations (grain, victim, ruche) |
+//! | `ablation_*` | design-choice ablations (grain, victim, ruche, dealing) |
+//! | `trace_run` | Perfetto/Chrome trace export (counter tracks + steal flows under `--profile`) |
+//! | `chaos_sweep` | fault-injection invariants (timing-only plans, detected bit flips) |
+//! | `profile` | Fig. 5 hot-spot story from `mosaic-prof` cycle attribution (see [`prof`]) |
 //!
 //! Every binary accepts `--scale tiny|small|full` and `--cols N
-//! --rows N` to trade fidelity against wall-clock time; defaults keep
-//! a full sweep in the minutes range on a laptop.
+//! --rows N` to trade fidelity against wall-clock time (defaults keep
+//! a full sweep in the minutes range on a laptop), plus the shared
+//! observer/gating flags: `--jobs`, `--sanitize`, `--faults SPEC`,
+//! `--profile`, `--prof-out DIR`, and
+//! `--check-golden`/`--write-golden`.
 //!
 //! Two non-experiment binaries front the `mosaic-serve` subsystem:
 //! `serve` (the simulation-as-a-service daemon; see [`service`]) and
@@ -30,13 +36,14 @@
 pub mod chaos;
 pub mod cli;
 pub mod golden;
+pub mod prof;
 pub mod sanitize;
 pub mod service;
 pub mod sweep;
 pub mod table;
 
 pub use cli::{GoldenMode, Options};
-pub use golden::{GoldenCell, GoldenFile};
+pub use golden::{GoldenCell, GoldenCounter, GoldenFile};
 pub use sanitize::{SanCell, SanitizeGate};
 pub use service::{BinExecutor, EXPERIMENTS};
 pub use sweep::{run_cells, run_sweep, run_sweep_jobs, ConfigResult, SweepRow, SweepTiming};

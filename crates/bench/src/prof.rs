@@ -1,0 +1,156 @@
+//! Profile export: serialize a [`MachineProfile`] as canonical JSON
+//! (stable key order, one array per line, trailing newline — the same
+//! conventions as the golden files) and write per-run profile files
+//! under `--prof-out DIR`.
+//!
+//! The JSON layout is documented in `docs/observability.md`; the
+//! parser side is exercised by `tests/prof.rs` through the workspace
+//! [`jsonlite`] codec.
+
+use jsonlite::escape;
+use mosaic_sim::{Bucket, MachineProfile};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render one `u64` slice as a compact JSON array.
+fn json_array(values: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+    s
+}
+
+/// Serialize `p` to the canonical profile JSON form. `run` names the
+/// run (experiment + config label) and becomes the `"run"` field.
+pub fn profile_to_json(run: &str, p: &MachineProfile) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"run\": {},", escape(run));
+    let _ = writeln!(
+        s,
+        "  \"machine\": {{\"cols\": {}, \"rows\": {}}},",
+        p.cols, p.rows
+    );
+    let _ = writeln!(s, "  \"elapsed\": {},", json_array(&p.elapsed));
+    s.push_str("  \"buckets\": {\n");
+    for b in Bucket::ALL {
+        let per_core: Vec<u64> = p.buckets.iter().map(|row| row[b.index()]).collect();
+        let _ = write!(s, "    {}: {}", escape(b.name()), json_array(&per_core));
+        s.push_str(if b.index() + 1 < mosaic_sim::BUCKET_COUNT {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  },\n");
+    let _ = writeln!(
+        s,
+        "  \"llc_bank_accesses\": {},",
+        json_array(&p.llc_bank_accesses)
+    );
+    let _ = writeln!(s, "  \"spm_served\": {},", json_array(&p.spm_served));
+    let _ = writeln!(
+        s,
+        "  \"core_inbound_flits\": {},",
+        json_array(&p.core_inbound_flits)
+    );
+    let _ = writeln!(
+        s,
+        "  \"core_outbound_flits\": {},",
+        json_array(&p.core_outbound_flits)
+    );
+    let _ = writeln!(s, "  \"total_link_flits\": {},", p.total_link_flits);
+    let _ = writeln!(s, "  \"window_cycles\": {},", p.window_cycles);
+    s.push_str("  \"windows\": [\n");
+    for (i, w) in p.windows.iter().enumerate() {
+        let _ = write!(s, "    {}", json_array(w));
+        s.push_str(if i + 1 < p.windows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Write `p` as `{run}.json` under `dir` (created if missing); returns
+/// the path written.
+pub fn write_profile(dir: &Path, run: &str, p: &MachineProfile) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{run}.json"));
+    std::fs::write(&path, profile_to_json(run, p))?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_sim::BUCKET_COUNT;
+
+    fn sample() -> MachineProfile {
+        let mut buckets = vec![[0u64; BUCKET_COUNT]; 2];
+        buckets[0][Bucket::Compute.index()] = 75;
+        buckets[0][Bucket::Idle.index()] = 25;
+        buckets[1][Bucket::StealSearch.index()] = 100;
+        MachineProfile {
+            cols: 2,
+            rows: 1,
+            buckets,
+            elapsed: vec![100, 100],
+            llc_bank_accesses: vec![5, 7],
+            spm_served: vec![0, 3],
+            core_inbound_flits: vec![11, 2],
+            core_outbound_flits: vec![4, 9],
+            total_link_flits: 13,
+            window_cycles: 1024,
+            windows: vec![[1; BUCKET_COUNT], [2; BUCKET_COUNT]],
+        }
+    }
+
+    #[test]
+    fn profile_json_parses_and_keeps_every_bucket() {
+        let json = profile_to_json("profile/dup-off", &sample());
+        let parsed = jsonlite::Json::parse(&json).expect("valid JSON");
+        let obj = parsed.as_object("profile").unwrap();
+        assert_eq!(
+            obj.get("run", "profile").unwrap().as_string().unwrap(),
+            "profile/dup-off"
+        );
+        let buckets = obj
+            .get("buckets", "profile")
+            .and_then(|b| b.as_object("buckets"))
+            .unwrap();
+        for b in Bucket::ALL {
+            let row = buckets
+                .get(b.name(), "buckets")
+                .and_then(|r| r.as_array(b.name()))
+                .unwrap();
+            assert_eq!(row.len(), 2, "per-core row for {}", b.name());
+        }
+        assert_eq!(
+            obj.get("total_link_flits", "profile")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            13
+        );
+        assert_eq!(
+            obj.get("windows", "profile")
+                .and_then(|w| w.as_array("windows"))
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn write_profile_creates_the_file() {
+        let dir = std::env::temp_dir().join(format!("prof-test-{}", std::process::id()));
+        let path = write_profile(&dir, "unit", &sample()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(jsonlite::Json::parse(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

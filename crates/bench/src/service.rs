@@ -36,6 +36,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation_dealing",
     "trace_run",
     "chaos_sweep",
+    "profile",
 ];
 
 /// Executor that runs experiment harness binaries as child processes.

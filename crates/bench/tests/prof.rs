@@ -1,0 +1,107 @@
+//! Profiler invariants, mirroring the fault-injection zero-cost
+//! contract in `tests/chaos.rs` (see DESIGN.md §13):
+//!
+//! 1. **Zero cost when off — and when on**: enabling
+//!    `MachineConfig::profile` changes no simulated state. Payloads,
+//!    cycle counts, and instruction counts are byte-identical with the
+//!    profiler attached.
+//! 2. **Span-complete attribution**: on every core the nine bucket
+//!    totals sum *exactly* to that core's elapsed cycles — no
+//!    unattributed time, no double counting — across random machine
+//!    shapes and both scheduling shapes (recursive fib, flat scan).
+//! 3. **Off means off**: without the flag, `RunReport::profile` is
+//!    `None` and no counters are collected.
+
+use mosaic_bench::chaos;
+use mosaic_sim::{Bucket, MachineConfig};
+use mosaic_workloads::{table1_benchmarks, Scale};
+use proptest::prelude::*;
+
+fn machine_with(cols: u16, rows: u16, profile: bool) -> MachineConfig {
+    let mut m = MachineConfig::small(cols, rows);
+    m.profile = profile;
+    m
+}
+
+#[test]
+fn profiled_runs_are_byte_identical_to_unprofiled_runs() {
+    for wl in chaos::WORKLOADS {
+        let off = chaos::run(wl, machine_with(4, 2, false), Scale::Tiny);
+        let on = chaos::run(wl, machine_with(4, 2, true), Scale::Tiny);
+        assert_eq!(off.digest.payload, on.digest.payload, "{wl} payload");
+        assert_eq!(off.digest.cycles, on.digest.cycles, "{wl} cycles");
+        assert_eq!(off.instructions, on.instructions, "{wl} instructions");
+    }
+}
+
+#[test]
+fn table1_workloads_profile_with_span_complete_attribution() {
+    for b in table1_benchmarks(Scale::Tiny) {
+        let on = b.run(
+            machine_with(4, 2, true),
+            mosaic_runtime::RuntimeConfig::work_stealing(),
+        );
+        on.assert_verified();
+        let p = on.report.profile.as_ref().expect("profiler was enabled");
+        assert!(
+            p.accounting_error().is_none(),
+            "{}: bucket sums diverge from elapsed cycles: {:?}",
+            b.name(),
+            p.accounting_error()
+        );
+        assert_eq!(p.cores(), 8, "{} core count", b.name());
+        // A 4x2 work-stealing run always searches for work somewhere.
+        assert!(
+            p.bucket_total(Bucket::StealSearch) + p.bucket_total(Bucket::Idle) > 0,
+            "{}: no steal-search or idle cycles on an 8-core run",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn report_has_no_profile_without_the_flag() {
+    let b = &table1_benchmarks(Scale::Tiny)[0];
+    let out = b.run(
+        machine_with(2, 2, false),
+        mosaic_runtime::RuntimeConfig::work_stealing(),
+    );
+    assert!(out.report.profile.is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Across random small machine shapes, attribution stays
+    /// span-complete and the profiler stays invisible to the
+    /// simulation: cycles and payloads match the unprofiled run bit
+    /// for bit.
+    #[test]
+    fn bucket_sums_equal_elapsed_on_random_machines(
+        cols in 1u16..5,
+        rows in 1u16..3,
+    ) {
+        for wl in chaos::WORKLOADS {
+            let off = chaos::run(wl, machine_with(cols, rows, false), Scale::Tiny);
+            let on = chaos::run(wl, machine_with(cols, rows, true), Scale::Tiny);
+            prop_assert!(on.error.is_none(), "{wl} crashed under profiling");
+            prop_assert_eq!(on.digest.payload, off.digest.payload,
+                "{} payload changed on {}x{}", wl, cols, rows);
+            prop_assert_eq!(on.digest.cycles, off.digest.cycles,
+                "{} cycles changed on {}x{}", wl, cols, rows);
+        }
+        // The chaos digest drops the report, so the span-completeness
+        // half of the property runs through a Table-1 instance.
+        let b = &table1_benchmarks(Scale::Tiny)[1];
+        let out = b.run(
+            machine_with(cols, rows, true),
+            mosaic_runtime::RuntimeConfig::work_stealing(),
+        );
+        prop_assert!(out.verified, "{} failed verification", b.name());
+        let p = out.report.profile.as_ref().expect("profiler was enabled");
+        prop_assert!(p.accounting_error().is_none(),
+            "{}x{}: {:?}", cols, rows, p.accounting_error());
+        let cores = (cols as usize) * (rows as usize);
+        prop_assert_eq!(p.buckets.len(), cores);
+    }
+}

@@ -21,7 +21,7 @@ use crate::stats::WorkerStats;
 use crate::task::Registry;
 use mosaic_mem::{Addr, AddrMap, AmoOp};
 use mosaic_san::{Note, NoteSink};
-use mosaic_sim::{CoreApi, Cycle};
+use mosaic_sim::{CoreApi, Cycle, Phase};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -252,6 +252,28 @@ impl<'a> TaskCtx<'a> {
         }
     }
 
+    /// Enter the profiler's stack-overflow phase when the top frame has
+    /// been redirected to DRAM — its save/restore traffic is overflow
+    /// handling, not useful work. Returns the phase to hand back to
+    /// [`TaskCtx::end_overflow_phase`]; `None` (nothing to restore)
+    /// when profiling is off or the frame is SPM-resident.
+    pub(crate) fn begin_overflow_phase(&mut self) -> Option<Phase> {
+        if !self.api.profiling() {
+            return None;
+        }
+        self.st
+            .stack
+            .overflow_phase()
+            .map(|ph| self.api.phase_begin(ph))
+    }
+
+    /// Leave the phase entered by [`TaskCtx::begin_overflow_phase`].
+    pub(crate) fn end_overflow_phase(&mut self, prev: Option<Phase>) {
+        if let Some(prev) = prev {
+            self.api.phase_restore(prev);
+        }
+    }
+
     /// Run `f` inside a modeled function call: charges call/return
     /// overhead and saved-register traffic, allocates a frame (subject
     /// to SPM-overflow placement), and reclaims any leftover
@@ -266,16 +288,20 @@ impl<'a> TaskCtx<'a> {
         );
         let entry_frames = self.st.stack.frame_count();
         let base = self.push_frame(costs.frame_save_words);
+        let ov = self.begin_overflow_phase();
         for i in 0..costs.frame_save_words {
             self.api.store(base.offset_words(i as u64), 0);
         }
+        self.end_overflow_phase(ov);
         let r = f(self);
         while self.st.stack.frame_count() > entry_frames + 1 {
             self.pop_frame();
         }
+        let ov = self.begin_overflow_phase();
         for i in 0..costs.frame_save_words {
             self.api.load(base.offset_words(i as u64));
         }
+        self.end_overflow_phase(ov);
         self.pop_frame();
         self.api.charge(
             costs.call_overhead + extra_instr,

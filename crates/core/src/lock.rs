@@ -7,34 +7,42 @@
 
 use crate::costs::CostModel;
 use mosaic_mem::{Addr, AmoOp};
-use mosaic_sim::CoreApi;
+use mosaic_sim::{CoreApi, Phase};
 
 /// Acquire the spin lock at `lock`. Returns the number of failed
 /// attempts before success (for contention statistics).
 pub fn acquire(api: &mut CoreApi, lock: Addr, costs: &CostModel) -> u64 {
+    let prev = api.phase_begin(Phase::QueueLock);
     let mut failures = 0;
-    loop {
+    let failures = loop {
         let old = api.amo(lock, AmoOp::Swap, 1);
         if old == 0 {
-            return failures;
+            break failures;
         }
         failures += 1;
         api.charge(costs.lock_retry_overhead, costs.lock_backoff);
-    }
+    };
+    api.phase_restore(prev);
+    failures
 }
 
 /// Try to acquire once; `true` on success.
 pub fn try_acquire(api: &mut CoreApi, lock: Addr) -> bool {
-    api.amo(lock, AmoOp::Swap, 1) == 0
+    let prev = api.phase_begin(Phase::QueueLock);
+    let ok = api.amo(lock, AmoOp::Swap, 1) == 0;
+    api.phase_restore(prev);
+    ok
 }
 
 /// Release the spin lock at `lock` with release semantics.
 pub fn release(api: &mut CoreApi, lock: Addr) {
+    let prev = api.phase_begin(Phase::QueueLock);
     // Invariant: every store made inside the critical section (queue
     // words, task records) must be globally visible before the unlock
     // store — the next holder acquires through the lock amoswap alone.
     api.fence();
     api.store(lock, 0);
+    api.phase_restore(prev);
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 use crate::costs::CostModel;
 use crate::layout::QUEUE_HDR_WORDS;
 use mosaic_mem::Addr;
-use mosaic_sim::CoreApi;
+use mosaic_sim::{CoreApi, Phase};
 
 /// Word offsets inside the queue block.
 const LOCK: u64 = 0;
@@ -35,77 +35,92 @@ pub fn lock_addr(block: Addr) -> Addr {
 /// at the tail. Returns `false` when the queue is full; the caller
 /// must then execute the task inline.
 pub fn enqueue(api: &mut CoreApi, block: Addr, task: u32, costs: &CostModel) -> bool {
+    let prev = api.phase_begin(Phase::QueueLock);
     api.charge(costs.enqueue_overhead, costs.enqueue_overhead);
     let head = api.load(block.offset_words(HEAD));
     let tail = api.load(block.offset_words(TAIL));
     let cap = api.load(block.offset_words(CAP));
-    if tail.wrapping_sub(head) >= cap {
-        return false;
-    }
-    let slot = QUEUE_HDR_WORDS as u64 + (tail % cap) as u64;
-    api.store(block.offset_words(slot), task);
-    api.store(block.offset_words(TAIL), tail.wrapping_add(1));
-    true
+    let ok = if tail.wrapping_sub(head) >= cap {
+        false
+    } else {
+        let slot = QUEUE_HDR_WORDS as u64 + (tail % cap) as u64;
+        api.store(block.offset_words(slot), task);
+        api.store(block.offset_words(TAIL), tail.wrapping_add(1));
+        true
+    };
+    api.phase_restore(prev);
+    ok
 }
 
 /// Pop from the tail (LIFO) — the owning core's fast path.
 pub fn dequeue(api: &mut CoreApi, block: Addr, costs: &CostModel) -> Option<u32> {
+    let prev = api.phase_begin(Phase::QueueLock);
     api.charge(costs.dequeue_overhead, costs.dequeue_overhead);
     let head = api.load(block.offset_words(HEAD));
     let tail = api.load(block.offset_words(TAIL));
-    if tail == head {
-        return None;
-    }
-    let cap = api.load(block.offset_words(CAP));
-    let t = tail.wrapping_sub(1);
-    let slot = QUEUE_HDR_WORDS as u64 + (t % cap) as u64;
-    let task = api.load(block.offset_words(slot));
-    api.store(block.offset_words(TAIL), t);
-    Some(task)
+    let task = if tail == head {
+        None
+    } else {
+        let cap = api.load(block.offset_words(CAP));
+        let t = tail.wrapping_sub(1);
+        let slot = QUEUE_HDR_WORDS as u64 + (t % cap) as u64;
+        let task = api.load(block.offset_words(slot));
+        api.store(block.offset_words(TAIL), t);
+        Some(task)
+    };
+    api.phase_restore(prev);
+    task
 }
 
 /// Steal from the head (FIFO) — the thief's path.
 pub fn steal(api: &mut CoreApi, block: Addr, costs: &CostModel) -> Option<u32> {
+    let prev = api.phase_begin(Phase::QueueLock);
     api.charge(costs.dequeue_overhead, costs.dequeue_overhead);
     let head = api.load(block.offset_words(HEAD));
     let tail = api.load(block.offset_words(TAIL));
-    if tail == head {
-        return None;
-    }
-    let cap = api.load(block.offset_words(CAP));
-    let slot = QUEUE_HDR_WORDS as u64 + (head % cap) as u64;
-    let task = api.load(block.offset_words(slot));
-    api.store(block.offset_words(HEAD), head.wrapping_add(1));
-    Some(task)
+    let task = if tail == head {
+        None
+    } else {
+        let cap = api.load(block.offset_words(CAP));
+        let slot = QUEUE_HDR_WORDS as u64 + (head % cap) as u64;
+        let task = api.load(block.offset_words(slot));
+        api.store(block.offset_words(HEAD), head.wrapping_add(1));
+        Some(task)
+    };
+    api.phase_restore(prev);
+    task
 }
 
 /// Steal up to `max` tasks from the head (lock must be held). Returns
 /// the stolen records, oldest first.
 pub fn steal_up_to(api: &mut CoreApi, block: Addr, max: u32, costs: &CostModel) -> Vec<u32> {
+    let prev = api.phase_begin(Phase::QueueLock);
     api.charge(costs.dequeue_overhead, costs.dequeue_overhead);
     let head = api.load(block.offset_words(HEAD));
     let tail = api.load(block.offset_words(TAIL));
     let avail = tail.wrapping_sub(head);
     let take = avail.min(max);
-    if take == 0 {
-        return Vec::new();
-    }
-    let cap = api.load(block.offset_words(CAP));
     let mut out = Vec::with_capacity(take as usize);
-    for k in 0..take {
-        let idx = head.wrapping_add(k);
-        let slot = QUEUE_HDR_WORDS as u64 + (idx % cap) as u64;
-        out.push(api.load(block.offset_words(slot)));
-        api.charge(1, 1);
+    if take > 0 {
+        let cap = api.load(block.offset_words(CAP));
+        for k in 0..take {
+            let idx = head.wrapping_add(k);
+            let slot = QUEUE_HDR_WORDS as u64 + (idx % cap) as u64;
+            out.push(api.load(block.offset_words(slot)));
+            api.charge(1, 1);
+        }
+        api.store(block.offset_words(HEAD), head.wrapping_add(take));
     }
-    api.store(block.offset_words(HEAD), head.wrapping_add(take));
+    api.phase_restore(prev);
     out
 }
 
 /// Number of queued tasks (lock must be held).
 pub fn len(api: &mut CoreApi, block: Addr) -> u32 {
+    let prev = api.phase_begin(Phase::QueueLock);
     let head = api.load(block.offset_words(HEAD));
     let tail = api.load(block.offset_words(TAIL));
+    api.phase_restore(prev);
     tail.wrapping_sub(head)
 }
 

@@ -231,6 +231,7 @@ impl Mosaic {
             .map(|t| std::mem::take(&mut *t.lock()))
             .unwrap_or_default();
         let sanitizer = report.machine.take_sanitizer_report();
+        let profile = report.machine.take_profile();
         Ok(RunReport {
             cycles: report.cycles,
             counters: report.counters,
@@ -239,6 +240,7 @@ impl Mosaic {
             marks,
             trace,
             sanitizer,
+            profile,
         })
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::config::Placement;
 use mosaic_mem::{Addr, AddrMap};
+use mosaic_sim::Phase;
 
 /// One live frame (or anonymous in-frame allocation).
 #[derive(Debug, Clone, Copy)]
@@ -145,6 +146,14 @@ impl StackEngine {
     /// `true` when the most recent frame lives in DRAM.
     pub fn top_in_dram(&self) -> bool {
         self.frames.last().is_some_and(|f| f.in_dram)
+    }
+
+    /// Profiler phase for save/restore traffic on the top frame:
+    /// `Some(StackOverflow)` when that frame overflowed out of SPM (the
+    /// traffic is then overflow handling, not useful work), `None` for
+    /// an SPM-resident frame.
+    pub fn overflow_phase(&self) -> Option<Phase> {
+        self.top_in_dram().then_some(Phase::StackOverflow)
     }
 }
 

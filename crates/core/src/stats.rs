@@ -62,6 +62,10 @@ pub struct RunReport {
     /// set; the sanitizer charges no simulated cycles, so `cycles` is
     /// identical either way).
     pub sanitizer: Option<mosaic_san::SanReport>,
+    /// Cycle-attribution profile (None unless `MachineConfig::profile`
+    /// was set; like the sanitizer, the profiler charges no simulated
+    /// cycles, so `cycles` is identical either way).
+    pub profile: Option<mosaic_sim::MachineProfile>,
 }
 
 impl RunReport {

@@ -10,7 +10,7 @@
 //!
 //! [`RuntimeConfig::trace`]: crate::RuntimeConfig
 
-use mosaic_sim::Cycle;
+use mosaic_sim::{Bucket, Cycle, MachineProfile};
 
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,7 +53,22 @@ pub enum TraceEvent {
 /// Render events as Chrome trace-event JSON (the `traceEvents` array
 /// format understood by `chrome://tracing` and Perfetto). Cycles map
 /// to microseconds 1:1 so the UI's zoom levels behave.
+///
+/// Each successful steal additionally emits a `ph:"s"`/`ph:"f"` flow
+/// pair, so Perfetto draws an arrow from the victim's timeline to the
+/// thief's at the steal cycle.
 pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    to_chrome_json_with_profile(events, None)
+}
+
+/// Like [`to_chrome_json`], plus one `ph:"C"` counter event per
+/// profiler series window when a [`MachineProfile`] is supplied —
+/// Perfetto then shows a stacked "cycles by bucket" counter track above
+/// the task timelines (see `docs/observability.md`).
+pub fn to_chrome_json_with_profile(
+    events: &[TraceEvent],
+    profile: Option<&MachineProfile>,
+) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
     let push = |s: String, out: &mut String, first: &mut bool| {
@@ -63,6 +78,27 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
         *first = false;
         out.push_str(&s);
     };
+    if let Some(p) = profile {
+        for (i, w) in p.windows.iter().enumerate() {
+            let ts = i as u64 * p.window_cycles;
+            let mut args = String::new();
+            for b in Bucket::ALL {
+                if b.index() > 0 {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":{}", b.name(), w[b.index()]));
+            }
+            push(
+                format!(
+                    "{{\"name\":\"cycles by bucket\",\"cat\":\"prof\",\"ph\":\"C\",\
+                     \"ts\":{ts},\"pid\":0,\"args\":{{{args}}}}}"
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+    }
+    let mut flow_id = 0u64;
     for e in events {
         match e {
             TraceEvent::Task {
@@ -92,6 +128,25 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
                     &mut out,
                     &mut first,
                 );
+                // Flow arrow from the victim's timeline to the thief's.
+                push(
+                    format!(
+                        "{{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"s\",\
+                         \"id\":{flow_id},\"ts\":{at},\"pid\":0,\"tid\":{victim}}}"
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+                push(
+                    format!(
+                        "{{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"f\",\"bp\":\"e\",\
+                         \"id\":{flow_id},\"ts\":{},\"pid\":0,\"tid\":{thief}}}",
+                        at + 1
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+                flow_id += 1;
             }
             TraceEvent::Mark { core, label, at } => {
                 push(
@@ -161,6 +216,79 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn steals_emit_flow_arrow_pairs() {
+        let json = to_chrome_json(&[TraceEvent::Steal {
+            thief: 3,
+            victim: 0,
+            at: 9,
+        }]);
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"ph\":\"f\""), "{json}");
+        assert!(json.contains("\"bp\":\"e\""), "{json}");
+        // The arrow starts on the victim's timeline and lands on the
+        // thief's one cycle later.
+        assert!(
+            json.contains("\"id\":0,\"ts\":9,\"pid\":0,\"tid\":0"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"id\":0,\"ts\":10,\"pid\":0,\"tid\":3"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn counter_tracks_parse_as_trace_events_json() {
+        let mut w0 = [0u64; mosaic_sim::BUCKET_COUNT];
+        w0[Bucket::Compute.index()] = 900;
+        w0[Bucket::StealSearch.index()] = 124;
+        let profile = MachineProfile {
+            cols: 2,
+            rows: 1,
+            buckets: vec![[0; mosaic_sim::BUCKET_COUNT]; 2],
+            elapsed: vec![0; 2],
+            llc_bank_accesses: vec![0; 2],
+            spm_served: vec![0; 2],
+            core_inbound_flits: vec![0; 2],
+            core_outbound_flits: vec![0; 2],
+            total_link_flits: 0,
+            window_cycles: 1024,
+            windows: vec![w0, [7; mosaic_sim::BUCKET_COUNT]],
+        };
+        let events = vec![
+            TraceEvent::Task {
+                core: 1,
+                record: 0x2000,
+                start: 100,
+                end: 300,
+                stolen: false,
+            },
+            TraceEvent::Steal {
+                thief: 1,
+                victim: 0,
+                at: 90,
+            },
+        ];
+        let json = to_chrome_json_with_profile(&events, Some(&profile));
+        // The satellite requirement: with counter tracks mixed in, the
+        // output must still parse as the `traceEvents` array shape.
+        let parsed = jsonlite::Json::parse(&json).expect("valid JSON");
+        let obj = parsed.as_object("trace").expect("object root");
+        let evs = obj
+            .get("traceEvents", "trace")
+            .and_then(|e| e.as_array("traceEvents"))
+            .expect("traceEvents array");
+        // 2 counter windows + 1 span + 1 instant + 1 flow pair.
+        assert_eq!(evs.len(), 6);
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"cycles by bucket\""), "{json}");
+        assert!(json.contains("\"compute\":900"), "{json}");
+        assert!(json.contains("\"steal_search\":124"), "{json}");
+        // Second window lands one window-width later.
+        assert!(json.contains("\"ts\":1024"), "{json}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::layout::misc;
 use crate::task::{rec, TaskBody, REC_WORDS};
 use crate::{lock, queue};
 use mosaic_mem::{Addr, AmoOp};
+use mosaic_sim::Phase;
 use rand::Rng;
 
 impl TaskCtx<'_> {
@@ -183,6 +184,10 @@ impl TaskCtx<'_> {
             // busy victim's own queue operations just to discover an
             // empty queue.
             if self.sh.cores > 1 {
+                // Victim selection, remote queue resolution, the
+                // unlocked peek, and the transfer itself are all the
+                // paper's steal-search overhead.
+                let sprev = self.api.phase_begin(Phase::StealSearch);
                 let victim = self.choose_victim();
                 let vq = self.resolve_victim_queue(victim);
                 let vlk = queue::lock_addr(vq);
@@ -208,9 +213,12 @@ impl TaskCtx<'_> {
                                 for t in got {
                                     if !queue::enqueue(self.api, own_q, t, &costs) {
                                         // Our queue is full: hand it
-                                        // straight back to execution.
+                                        // straight back to execution
+                                        // (real task work, not search).
                                         lock::release(self.api, own_lk);
+                                        self.api.phase_restore(sprev);
                                         self.execute_record(Addr(t as u64));
+                                        let _ = self.api.phase_begin(Phase::StealSearch);
                                         self.st.stats.lock_retries +=
                                             lock::acquire(self.api, own_lk, &costs);
                                     }
@@ -221,6 +229,7 @@ impl TaskCtx<'_> {
                                     Some(t) => {
                                         self.st.stats.steals += 1;
                                         self.st.steal_fail_streak = 0;
+                                        self.api.phase_restore(sprev);
                                         self.execute_record(Addr(t as u64));
                                         continue;
                                     }
@@ -235,6 +244,7 @@ impl TaskCtx<'_> {
                 } else {
                     None
                 };
+                self.api.phase_restore(sprev);
                 match stolen {
                     Some(t) => {
                         self.st.stats.steals += 1;
@@ -248,6 +258,7 @@ impl TaskCtx<'_> {
                     }
                     None => {
                         self.st.stats.failed_steals += 1;
+                        let iprev = self.api.phase_begin(Phase::Idle);
                         if wait_rc.is_some() {
                             // A waiting parent must notice its join
                             // promptly; keep the retry tight.
@@ -260,6 +271,7 @@ impl TaskCtx<'_> {
                             self.st.steal_fail_streak += 1;
                             self.api.charge(2, 32u64 << shift);
                         }
+                        self.api.phase_restore(iprev);
                     }
                 }
             } else {
@@ -314,18 +326,22 @@ impl TaskCtx<'_> {
             .charge(costs.call_overhead + extra, costs.call_overhead + penalty);
         let entry_frames = self.st.stack.frame_count();
         let base = self.push_frame(costs.frame_save_words);
+        let ov = self.begin_overflow_phase();
         for i in 0..costs.frame_save_words {
             self.api.store(base.offset_words(i as u64), 0);
         }
+        self.end_overflow_phase(ov);
         self.st.cur_rec.push(rec_addr);
         body(self);
         self.st.cur_rec.pop();
         while self.st.stack.frame_count() > entry_frames + 1 {
             self.pop_frame();
         }
+        let ov = self.begin_overflow_phase();
         for i in 0..costs.frame_save_words {
             self.api.load(base.offset_words(i as u64));
         }
+        self.end_overflow_phase(ov);
         self.pop_frame();
         self.api
             .charge(costs.call_overhead + extra, costs.call_overhead + penalty);

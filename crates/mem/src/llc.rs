@@ -208,6 +208,13 @@ impl Llc {
         }
     }
 
+    /// Per-bank `(hits, misses)`, in bank order. The profiler's LLC
+    /// heatmap is built from these; bank skew here means the line
+    /// interleave is not spreading the working set.
+    pub fn bank_stats(&self) -> Vec<(u64, u64)> {
+        self.banks.iter().map(|b| (b.hits, b.misses)).collect()
+    }
+
     /// (hits, misses, writebacks) across all banks.
     pub fn stats(&self) -> (u64, u64, u64) {
         let mut h = 0;
@@ -314,6 +321,15 @@ mod tests {
         llc.access(0, 100, false, &mut dram);
         llc.access(0, 200, false, &mut dram);
         assert_eq!(llc.stats(), (2, 1, 0));
+    }
+
+    #[test]
+    fn bank_stats_split_by_bank() {
+        let (mut llc, mut dram) = tiny();
+        llc.access(0, 0, false, &mut dram); // bank 0 miss
+        llc.access(4, 100, false, &mut dram); // bank 0 hit
+        llc.access(64, 200, false, &mut dram); // bank 1 miss
+        assert_eq!(llc.bank_stats(), vec![(1, 1), (0, 1)]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Network statistics: per-link utilization and core-to-core traffic
 //! summaries, used to regenerate the paper's Figure 5 latency heatmap.
 
-use crate::topology::MeshConfig;
+use crate::topology::{MeshConfig, NodeKind};
 
 /// Snapshot of cumulative flits carried per unidirectional link.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +32,32 @@ impl LinkStats {
             .enumerate()
             .max_by_key(|&(_, f)| f)
             .filter(|&(_, f)| f > 0)
+    }
+
+    /// Per-core flits carried by links *arriving at* each core's router
+    /// node — the profiler's NoC hot-spot heatmap. Counts both traffic
+    /// delivered to the node and traffic routed through it; either way
+    /// those flits occupy the router's input ports, which is the
+    /// congestion that makes a hot node hot (paper Figure 5).
+    pub fn core_inbound(&self, cfg: &MeshConfig) -> Vec<u64> {
+        self.core_endpoint_flits(cfg, false)
+    }
+
+    /// Per-core flits carried by links *leaving* each core's router
+    /// node (injected plus routed-through).
+    pub fn core_outbound(&self, cfg: &MeshConfig) -> Vec<u64> {
+        self.core_endpoint_flits(cfg, true)
+    }
+
+    fn core_endpoint_flits(&self, cfg: &MeshConfig, outbound: bool) -> Vec<u64> {
+        let mut out = vec![0u64; cfg.core_count()];
+        for (idx, &(from, to)) in cfg.link_table().iter().enumerate() {
+            let node = if outbound { from } else { to };
+            if let NodeKind::Core(c) = cfg.node_kind(node) {
+                out[c as usize] += self.flits[idx];
+            }
+        }
+        out
     }
 }
 
@@ -124,6 +150,35 @@ mod tests {
         m.record(2, 0, 4.0);
         let col = m.normalized_column(0);
         assert_eq!(col, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn endpoint_flits_follow_the_link_table() {
+        let cfg = MeshConfig::new(2, 2, 0);
+        // Put one flit on every link ending at core 0's node and two on
+        // every link leaving core 3's node; everything else idle.
+        let n0 = cfg.core_node(0);
+        let n3 = cfg.core_node(3);
+        let flits: Vec<u64> = cfg
+            .link_table()
+            .iter()
+            .map(|&(from, to)| {
+                if to == n0 {
+                    1
+                } else if from == n3 {
+                    2
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let stats = LinkStats::new(flits);
+        let inbound = stats.core_inbound(&cfg);
+        let outbound = stats.core_outbound(&cfg);
+        assert!(inbound[0] >= 3, "core 0 has >= 3 incident links");
+        assert_eq!(inbound[3], 0);
+        assert!(outbound[3] >= 6);
+        assert_eq!(outbound[0], 0);
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl ResultCache {
     /// temporary file in the same directory and `rename`d into place,
     /// so a daemon killed mid-write can never leave a torn
     /// `<digest>.json` (the corrupt-is-a-miss fallback in
-    /// [`read_entry`] stays as defense in depth).
+    /// `read_entry` stays as defense in depth).
     pub fn insert(&self, digest: &str, spec: &JobSpec, payload: &str) {
         lock(&self.map).insert(digest.to_string(), payload.to_string());
         if let Some(path) = self.disk_path(digest) {

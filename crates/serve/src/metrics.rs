@@ -2,6 +2,7 @@
 //! record, snapshotted on demand as one JSON object.
 
 use jsonlite::Json;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -30,6 +31,13 @@ pub struct Metrics {
     pub worker_deaths: AtomicU64,
     /// Wall-clock latency of each terminal job, in milliseconds.
     latencies_ms: Mutex<Vec<u64>>,
+    /// Completed jobs whose payload carried profiler counters.
+    pub profiled_jobs: AtomicU64,
+    /// Running totals of profiler counters across completed jobs,
+    /// keyed by the counter's bucket suffix (`steal_search`,
+    /// `total_link_flits`, ...). Simulated cycles/flits, not host
+    /// time.
+    profile_totals: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Metrics {
@@ -43,6 +51,47 @@ impl Metrics {
         lock(&self.latencies_ms).push(d.as_millis() as u64);
     }
 
+    /// Fold a completed job's profiler counters into the running
+    /// totals surfaced by the `metrics` verb, if its result payload
+    /// carries the golden `"profile"` attachment (the `profile`
+    /// experiment does; see `mosaic_bench::golden`). Counters are
+    /// summed by their bucket suffix, so `dup-off/steal_search` and
+    /// `dup-on/steal_search` both land in `steal_search`. Payloads
+    /// without profiler counters are a no-op.
+    pub fn absorb_profile(&self, payload: &str) {
+        let Ok(json) = Json::parse(payload) else {
+            return;
+        };
+        let Ok(obj) = json.as_object("payload") else {
+            return;
+        };
+        let Some(profile) = obj.opt("profile") else {
+            return;
+        };
+        let Ok(entries) = profile.as_array("profile") else {
+            return;
+        };
+        let mut any = false;
+        let mut totals = lock(&self.profile_totals);
+        for e in entries {
+            let Ok(o) = e.as_object("profile entry") else {
+                continue;
+            };
+            let (Some(name), Some(value)) = (o.opt("counter"), o.opt("value")) else {
+                continue;
+            };
+            let (Ok(name), Ok(value)) = (name.as_string(), value.as_u64()) else {
+                continue;
+            };
+            let key = name.rsplit('/').next().unwrap_or(&name).to_string();
+            *totals.entry(key).or_insert(0) += value;
+            any = true;
+        }
+        if any {
+            self.profiled_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Render the snapshot. Queue depth, busy workers, and cache
     /// counters live elsewhere (scheduler / cache) and are passed in.
     pub fn snapshot(
@@ -53,6 +102,11 @@ impl Metrics {
         cache_misses: u64,
     ) -> Json {
         let lat = lock(&self.latencies_ms).clone();
+        let profile = lock(&self.profile_totals).clone();
+        let mut profile_obj = Json::obj();
+        for (name, total) in &profile {
+            profile_obj = profile_obj.field(name, *total);
+        }
         Json::obj()
             .field("type", "metrics")
             .field("accepted", self.accepted.load(Ordering::Relaxed))
@@ -68,6 +122,8 @@ impl Metrics {
             .field("queue_depth", queue_depth as u64)
             .field("busy_workers", busy_workers as u64)
             .field("latency_ms", latency_histogram(lat))
+            .field("profiled_jobs", self.profiled_jobs.load(Ordering::Relaxed))
+            .field("profile", profile_obj.build())
             .build()
     }
 }
@@ -123,6 +179,32 @@ mod tests {
         assert_eq!(lat.get("p50", "lat").unwrap().as_u64(), Ok(20));
         assert_eq!(lat.get("p99", "lat").unwrap().as_u64(), Ok(100));
         assert_eq!(lat.get("max", "lat").unwrap().as_u64(), Ok(100));
+    }
+
+    #[test]
+    fn absorb_profile_sums_by_bucket_suffix() {
+        let m = Metrics::new();
+        m.absorb_profile(
+            "{\"experiment\": \"profile\", \"cells\": [], \"profile\": [\
+             {\"counter\": \"dup-off/steal_search\", \"value\": 100},\
+             {\"counter\": \"dup-on/steal_search\", \"value\": 40},\
+             {\"counter\": \"dup-off/compute\", \"value\": 7}]}",
+        );
+        m.absorb_profile("{\"experiment\": \"table1\", \"cells\": []}"); // no-op
+        m.absorb_profile("not json at all"); // no-op
+        let snap = m.snapshot(0, 0, 0, 0);
+        let obj = snap.as_object("snap").unwrap();
+        assert_eq!(obj.get("profiled_jobs", "snap").unwrap().as_u64(), Ok(1));
+        let prof = obj
+            .get("profile", "snap")
+            .unwrap()
+            .as_object("profile")
+            .unwrap();
+        assert_eq!(
+            prof.get("steal_search", "profile").unwrap().as_u64(),
+            Ok(140)
+        );
+        assert_eq!(prof.get("compute", "profile").unwrap().as_u64(), Ok(7));
     }
 
     #[test]

@@ -471,6 +471,7 @@ impl Scheduler {
             }
             match outcome {
                 Ok(payload) => {
+                    self.metrics.absorb_profile(&payload);
                     self.cache.insert(&job.id, &job.spec, &payload);
                     self.metrics.completed.fetch_add(1, Ordering::Relaxed);
                     self.metrics.observe_latency(job.enqueued_at.elapsed());

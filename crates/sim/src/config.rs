@@ -37,6 +37,12 @@ pub struct MachineConfig {
     /// access. Host-side checking only: no simulated cycle changes, so
     /// all reported numbers are byte-identical either way.
     pub sanitize: bool,
+    /// Attach the `mosaic-prof` cycle-attribution profiler. Host-side
+    /// accounting only: no simulated cycle changes, so all reported
+    /// numbers are byte-identical either way; the run's
+    /// [`MachineProfile`](mosaic_prof::MachineProfile) is collected via
+    /// [`Machine::take_profile`](crate::Machine::take_profile).
+    pub profile: bool,
     /// Seeded fault-injection plan (`mosaic-chaos`). `None` (normal
     /// operation) is zero-cost: all timing and results are
     /// byte-identical to a build without the hooks. A timing-only plan
@@ -95,6 +101,7 @@ impl MachineConfig {
             seed: 0xC0FFEE,
             max_cycles: 0,
             sanitize: false,
+            profile: false,
             faults: None,
         }
     }

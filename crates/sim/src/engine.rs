@@ -22,6 +22,7 @@
 use crate::counters::MachineCounters;
 use crate::{Addr, CoreId, Cycle, Machine};
 use mosaic_mem::AmoOp;
+use mosaic_prof::{Phase, ProfSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -183,6 +184,11 @@ pub struct CoreApi {
     now: Cycle,
     pending_delay: Cycle,
     pending_instrs: u64,
+    /// Cycle-attribution sink when `MachineConfig::profile` is set.
+    /// Compute is attributed here at [`CoreApi::charge`] time, against
+    /// the core's current phase, so a single accumulated delay that
+    /// spans several runtime phases still lands in the right buckets.
+    prof: Option<ProfSink>,
 }
 
 impl CoreApi {
@@ -200,8 +206,35 @@ impl CoreApi {
     /// Charge `instrs` dynamic instructions taking `cycles` cycles of
     /// local compute. Accumulated locally; no context switch.
     pub fn charge(&mut self, instrs: u64, cycles: Cycle) {
+        if let Some(p) = &self.prof {
+            p.charge(self.core, self.now + self.pending_delay, cycles);
+        }
         self.pending_instrs += instrs;
         self.pending_delay += cycles;
+    }
+
+    /// Whether the cycle-attribution profiler is attached (phase hooks
+    /// can skip their bookkeeping entirely when it is not).
+    pub fn profiling(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Enter a profiler [`Phase`], returning the previous phase so the
+    /// caller can restore it on exit (phases nest: a queue operation
+    /// inside a steal search restores `StealSearch`, not `Task`). A
+    /// no-op returning [`Phase::Task`] when profiling is off.
+    pub fn phase_begin(&self, phase: Phase) -> Phase {
+        match &self.prof {
+            Some(p) => p.phase_swap(self.core, phase),
+            None => Phase::Task,
+        }
+    }
+
+    /// Restore a phase previously returned by [`CoreApi::phase_begin`].
+    pub fn phase_restore(&self, phase: Phase) {
+        if let Some(p) = &self.prof {
+            p.phase_swap(self.core, phase);
+        }
     }
 
     /// Blocking load of the word at `addr`.
@@ -356,6 +389,7 @@ impl Engine {
         F: FnMut(CoreId) -> Box<dyn FnOnce(&mut CoreApi) + Send>,
     {
         let cores = machine.core_count();
+        let prof = machine.prof_sink();
         let mut req_rxs = Vec::with_capacity(cores);
         let mut reply_txs = Vec::with_capacity(cores);
         let mut handles = Vec::with_capacity(cores);
@@ -366,6 +400,7 @@ impl Engine {
             req_rxs.push(req_rx);
             reply_txs.push(reply_tx);
             let behavior = behaviors(core);
+            let prof = prof.clone();
             let handle = thread::Builder::new()
                 .name(format!("mosaic-core-{core}"))
                 .stack_size(32 << 20)
@@ -377,6 +412,7 @@ impl Engine {
                         now: 0,
                         pending_delay: 0,
                         pending_instrs: 0,
+                        prof,
                     };
                     // Wait for the engine's start signal.
                     let start = match api.reply_rx.recv() {
@@ -441,6 +477,9 @@ impl Engine {
         // One flag read up front: with no fault plan installed, the
         // loop body below does no per-event fault work at all.
         let faults = machine.faults_active();
+        // Same pattern for the profiler: one Option read here, and every
+        // attribution below is behind `if let Some(..)`.
+        let prof = machine.prof_sink();
 
         for core in 0..cores {
             let at = if faults {
@@ -448,6 +487,11 @@ impl Engine {
             } else {
                 0
             };
+            if let Some(p) = &prof {
+                // A fault-injected freeze can delay the very first wake;
+                // the core is idle until then.
+                p.idle_wait(core, 0, at);
+            }
             pending.push(Some(Pending::Wake(0)));
             heap.push(Reverse((at, seq, core)));
             seq += 1;
@@ -490,6 +534,7 @@ impl Engine {
                         &mut seq,
                         &mut live,
                         &mut last_halt,
+                        &prof,
                     )?;
                 }
                 Pending::Issue(req) => {
@@ -505,6 +550,7 @@ impl Engine {
                         &mut heap,
                         &mut pending,
                         &mut seq,
+                        &prof,
                     );
                 }
             }
@@ -571,6 +617,7 @@ impl Engine {
         seq: &mut u64,
         live: &mut usize,
         last_halt: &mut Cycle,
+        prof: &Option<ProfSink>,
     ) -> Result<(), SimError> {
         let (delay, instrs) = match &req {
             Request::Advance { delay, instrs }
@@ -590,6 +637,11 @@ impl Engine {
         // An injected freeze window pushes the core's next action past
         // the window (identity when no fault plan is installed).
         let issue = machine.freeze_adjust(core, cycle + delay);
+        if let Some(p) = prof {
+            // `delay` itself was attributed core-side at charge time;
+            // only the freeze extension is accounted here.
+            p.idle_wait(core, cycle + delay, issue - (cycle + delay));
+        }
 
         match req {
             Request::Advance { .. } => {
@@ -601,6 +653,9 @@ impl Engine {
                 counters.core_mut(core).fences += 1;
                 let drain = store_queues[core].drain(..).max().unwrap_or(0).max(issue);
                 counters.core_mut(core).mem_stall_cycles += drain - issue;
+                if let Some(p) = prof {
+                    p.fence_wait(core, issue, drain - issue);
+                }
                 machine.sanitizer_fence(core, issue);
                 pending[core] = Some(Pending::Wake(0));
                 heap.push(Reverse((drain, *seq, core)));
@@ -608,6 +663,9 @@ impl Engine {
             }
             Request::Halt { .. } => {
                 counters.core_mut(core).halt_cycle = issue;
+                if let Some(p) = prof {
+                    p.halt(core, issue);
+                }
                 *live -= 1;
                 *last_halt = (*last_halt).max(issue);
             }
@@ -629,6 +687,7 @@ impl Engine {
                         heap,
                         pending,
                         seq,
+                        prof,
                     );
                 }
             }
@@ -650,12 +709,17 @@ impl Engine {
         heap: &mut BinaryHeap<Reverse<(Cycle, u64, CoreId)>>,
         pending: &mut [Option<Pending>],
         seq: &mut u64,
+        prof: &Option<ProfSink>,
     ) {
-        let (wake_at, value) = match req {
+        let (wake_raw, value) = match req {
             Request::Load { addr, relaxed, .. } => {
                 counters.core_mut(core).loads += 1;
                 let (v, done) = machine.read(core, addr, cycle, relaxed);
                 counters.core_mut(core).mem_stall_cycles += done - cycle;
+                if let Some(p) = prof {
+                    // The machine noted the access class during `read`.
+                    p.mem_stall(core, cycle, done - cycle);
+                }
                 (done, v)
             }
             Request::Amo {
@@ -664,6 +728,11 @@ impl Engine {
                 counters.core_mut(core).amos += 1;
                 let (v, done) = machine.amo(core, addr, op, operand, cycle);
                 counters.core_mut(core).mem_stall_cycles += done - cycle;
+                if let Some(p) = prof {
+                    // AMO round trips are ordering waits, not data
+                    // stalls — the paper's lock/termination traffic.
+                    p.fence_wait(core, cycle, done - cycle);
+                }
                 (done, v)
             }
             Request::Store {
@@ -685,12 +754,22 @@ impl Engine {
                 }
                 let done = machine.write(core, addr, value, start, relaxed);
                 q.push(done);
+                if let Some(p) = prof {
+                    // Queue backpressure keeps this store's destination
+                    // class (noted by `write` just above); the single
+                    // issue cycle follows the current phase.
+                    p.mem_stall(core, cycle, start - cycle);
+                    p.charge(core, start, 1);
+                }
                 (start + 1, 0)
             }
             _ => unreachable!("issue_mem only handles memory requests"),
         };
         // Freeze windows also delay the wakeup after a memory op.
-        let wake_at = machine.freeze_adjust(core, wake_at);
+        let wake_at = machine.freeze_adjust(core, wake_raw);
+        if let Some(p) = prof {
+            p.idle_wait(core, wake_raw, wake_at - wake_raw);
+        }
         pending[core] = Some(Pending::Wake(value));
         heap.push(Reverse((wake_at, *seq, core)));
         *seq += 1;
@@ -913,6 +992,86 @@ mod tests {
             (r.cycles, r.counters.total_instructions())
         };
         assert_eq!(run(false), run(true), "sanitizer must be zero-cost");
+    }
+
+    #[test]
+    fn profiler_does_not_change_simulated_cycles() {
+        let run = |profile: bool| {
+            let mut config = MachineConfig::small(4, 2);
+            config.profile = profile;
+            let mut machine = Machine::new(config);
+            let a = machine.dram_alloc_words(8);
+            let r = Engine::run(machine, move |core| {
+                Box::new(move |api| {
+                    for i in 0..20u64 {
+                        api.amo(a.offset_words(i % 8), AmoOp::Add, core as u32);
+                        api.store(a.offset_words((i + core as u64) % 8), 7);
+                        api.charge(3, 3);
+                    }
+                    api.fence();
+                })
+            });
+            (r.cycles, r.counters.total_instructions())
+        };
+        assert_eq!(run(false), run(true), "profiler must be zero-cost");
+    }
+
+    #[test]
+    fn profiler_buckets_sum_to_elapsed_cycles() {
+        let mut config = MachineConfig::small(4, 2);
+        config.profile = true;
+        let mut machine = Machine::new(config);
+        let a = machine.dram_alloc_words(8);
+        let spm = machine.addr_map().spm_addr(0, 0);
+        let mut r = Engine::run(machine, move |core| {
+            Box::new(move |api| {
+                // Exercise every attribution path: phased compute,
+                // loads to every class, stores past the queue depth,
+                // AMOs, and fences.
+                let prev = api.phase_begin(Phase::StealSearch);
+                api.charge(5, 50);
+                api.phase_restore(prev);
+                for i in 0..12u64 {
+                    api.load(a.offset_words(i % 8));
+                    api.load(spm);
+                    api.store(a.offset_words((i + core as u64) % 8), 7);
+                    api.amo(a.offset_words(i % 8), AmoOp::Add, 1);
+                    api.charge(3, 3);
+                }
+                api.fence();
+            })
+        });
+        let cycles = r.cycles;
+        let profile = r.machine.take_profile().expect("profiler attached");
+        assert_eq!(profile.accounting_error(), None);
+        assert_eq!(
+            profile.elapsed.iter().copied().max().unwrap_or(0),
+            cycles,
+            "last halt must match the report"
+        );
+        use mosaic_prof::Bucket;
+        assert_eq!(profile.bucket_total(Bucket::StealSearch), 8 * 50);
+        for b in [
+            Bucket::Compute,
+            Bucket::SpmStall,
+            Bucket::LlcStall,
+            Bucket::DramStall,
+            Bucket::FenceAmo,
+        ] {
+            assert!(profile.bucket_total(b) > 0, "expected cycles in {b:?}");
+        }
+        assert!(profile.total_link_flits > 0);
+        assert!(profile.llc_bank_accesses.iter().sum::<u64>() > 0);
+        assert!(
+            !profile.windows.is_empty(),
+            "series must have at least one window"
+        );
+    }
+
+    #[test]
+    fn take_profile_is_none_without_the_flag() {
+        let mut r = run_two_core(|_, api| api.charge(1, 1));
+        assert!(r.machine.take_profile().is_none());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub use machine::Machine;
 pub use mosaic_chaos::FaultPlan;
 
 pub use mosaic_mem::{Addr, AmoOp, Region};
+pub use mosaic_prof::{Bucket, MachineProfile, MemClass, Phase, ProfSink, BUCKET_COUNT};
 
 /// One cycle of the (notionally 1.5 GHz) core clock.
 pub type Cycle = u64;

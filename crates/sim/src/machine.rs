@@ -18,6 +18,7 @@ use crate::{CoreId, Cycle, MachineConfig};
 use mosaic_chaos::{FaultGeometry, FaultSchedule, FlipTarget};
 use mosaic_mem::{Addr, AddrMap, AmoOp, DramModel, Llc, Region, Scratchpad};
 use mosaic_mesh::{Mesh, NodeId, TrafficMatrix};
+use mosaic_prof::{MachineProfile, MemClass, ProfSink};
 use mosaic_san::{SanReport, Sanitizer};
 
 /// Kinds of timed memory access, for counter attribution.
@@ -75,6 +76,9 @@ pub struct Machine {
     /// Optional memory-model sanitizer observing every timed access
     /// (host-side only; never charges simulated cycles).
     sanitizer: Option<Box<Sanitizer>>,
+    /// Optional cycle-attribution profiler sink (`config.profile`);
+    /// host-side only, like the sanitizer — no timing feedback.
+    profiler: Option<ProfSink>,
     /// Materialized fault-injection state (`config.faults`).
     faults: Option<FaultState>,
     /// Optional extra-diagnostics callback for watchdog dumps.
@@ -108,6 +112,9 @@ impl Machine {
         let sanitizer = config
             .sanitize
             .then(|| Box::new(Sanitizer::new(map.clone(), cores)));
+        let profiler = config
+            .profile
+            .then(|| ProfSink::new(cores, config.llc.banks as usize));
         // Materialize the fault plan (if any) against this machine's
         // geometry and install the component-level windows up front;
         // freezes and flips stay with the machine.
@@ -145,6 +152,7 @@ impl Machine {
             dram_brk: 0,
             latency_probe: None,
             sanitizer,
+            profiler,
             faults,
             watchdog_probe: None,
             config,
@@ -172,6 +180,37 @@ impl Machine {
         if let Some(s) = &mut self.sanitizer {
             s.fence(core, cycle);
         }
+    }
+
+    /// The attached profiler sink, when `config.profile` is set. The
+    /// engine clones this into every core's `CoreApi` and into its own
+    /// event loop; cheap (an `Arc` clone).
+    pub fn prof_sink(&self) -> Option<ProfSink> {
+        self.profiler.clone()
+    }
+
+    /// Assemble the run's [`MachineProfile`] from the profiler sink and
+    /// the machine's traffic counters. Returns `None` when
+    /// `config.profile` was never set. Call after the engine joins all
+    /// core threads; the profile is a consistent end-of-run snapshot.
+    pub fn take_profile(&mut self) -> Option<MachineProfile> {
+        let sink = self.profiler.take()?;
+        let link_stats = self.mesh.link_stats();
+        let mesh_cfg = self.mesh.config();
+        let (window_cycles, windows) = sink.series();
+        Some(MachineProfile {
+            cols: self.config.cols,
+            rows: self.config.rows,
+            buckets: sink.bucket_rows(),
+            elapsed: sink.elapsed(),
+            llc_bank_accesses: sink.llc_bank_accesses(),
+            spm_served: sink.spm_served(),
+            core_inbound_flits: link_stats.core_inbound(mesh_cfg),
+            core_outbound_flits: link_stats.core_outbound(mesh_cfg),
+            total_link_flits: link_stats.total_flits(),
+            window_cycles,
+            windows,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -476,8 +515,15 @@ impl Machine {
                 let owner = owner as usize;
                 if owner == core {
                     // Local SPM: no network, just the port.
+                    if let Some(p) = &self.profiler {
+                        p.note_class(core, MemClass::SpmLocal);
+                    }
                     self.spms[owner].service(cycle)
                 } else {
+                    if let Some(p) = &self.profiler {
+                        p.note_class(core, MemClass::SpmRemote);
+                        p.note_spm_served(owner);
+                    }
                     let dst = self.core_nodes[owner];
                     let req_arrive = self.mesh.traverse(src, dst, cycle, 1);
                     let serviced = self.spms[owner].service(req_arrive);
@@ -494,16 +540,24 @@ impl Machine {
                 let bank = self.llc.bank_of(offset) as usize;
                 let dst = self.llc_nodes[bank];
                 let req_arrive = self.mesh.traverse(src, dst, cycle, 1);
-                let serviced = self
-                    .llc
-                    .access(
-                        offset,
-                        req_arrive,
-                        kind == AccessKind::Write,
-                        &mut self.dram,
-                    )
-                    .done;
-                self.mesh.traverse(dst, src, serviced, 1)
+                let access = self.llc.access(
+                    offset,
+                    req_arrive,
+                    kind == AccessKind::Write,
+                    &mut self.dram,
+                );
+                if let Some(p) = &self.profiler {
+                    p.note_llc_bank(bank);
+                    p.note_class(
+                        core,
+                        if access.hit {
+                            MemClass::LlcHit
+                        } else {
+                            MemClass::Dram
+                        },
+                    );
+                }
+                self.mesh.traverse(dst, src, access.done, 1)
             }
         }
     }

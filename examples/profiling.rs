@@ -1,0 +1,71 @@
+//! Profiling: attach the cycle-attribution profiler to a run and read
+//! back where every simulated cycle went.
+//!
+//! ```sh
+//! cargo run --release -p mosaic-xtests --example profiling
+//! ```
+//!
+//! Set `MachineConfig::profile = true` and `RunReport::profile` comes
+//! back `Some(MachineProfile)`: per-core cycle buckets (compute,
+//! queue-lock wait, steal search, SPM/LLC/DRAM stalls, fence/AMO wait,
+//! stack-overflow handling, idle), per-LLC-bank access counts, and
+//! per-core NoC flit counters. The profiler is a host-side observer —
+//! it charges zero simulated cycles, so cycle counts are byte-identical
+//! with it on or off, and on every core the nine bucket totals sum
+//! *exactly* to that core's elapsed cycles.
+
+use mosaic_runtime::{Mosaic, RuntimeConfig, TaskCtx};
+use mosaic_sim::{Bucket, MachineConfig};
+
+/// A deliberately unbalanced fib: one spawn per level keeps thieves
+/// busy, so the steal-search and queue-lock buckets light up.
+fn fib(ctx: &mut TaskCtx<'_>, n: u32) -> u32 {
+    if n < 2 {
+        ctx.compute(1, 1);
+        return n;
+    }
+    let (x, y) = ctx.parallel_invoke(move |ctx| fib(ctx, n - 1), move |ctx| fib(ctx, n - 2));
+    ctx.compute(1, 1);
+    x + y
+}
+
+fn main() {
+    // Same machine and runtime as quickstart, plus the profiler flag.
+    let mut machine = MachineConfig::small(4, 2);
+    machine.profile = true;
+    let sys = Mosaic::new(machine, RuntimeConfig::work_stealing());
+
+    let report = sys.run(move |ctx| {
+        let f = fib(ctx, 14);
+        ctx.mark(format!("fib={f}"));
+    });
+
+    let p = report.profile.as_ref().expect("profile was enabled");
+
+    // The accounting contract: attribution is span-complete per core.
+    assert_eq!(p.accounting_error(), None);
+
+    println!("fib(14) on {} cores: {} cycles\n", p.cores(), report.cycles);
+    println!("cycles by bucket (machine-wide):");
+    print!("{}", p.render_totals());
+    println!("\ncore-inbound NoC flits (1.00 = hottest core):");
+    print!("{}", p.render_inbound_heatmap());
+
+    let steal = p.bucket_total(Bucket::StealSearch);
+    let total: u64 = p.totals().iter().sum();
+    println!(
+        "\nsteal search: {} cycles ({:.1}% of all attributed cycles)",
+        steal,
+        100.0 * steal as f64 / total as f64
+    );
+
+    // Per-core drill-down: the most idle core vs the busiest.
+    let idle_of = |c: usize| p.buckets[c][Bucket::Idle.index()];
+    let laziest = (0..p.cores()).max_by_key(|&c| idle_of(c)).unwrap_or(0);
+    println!(
+        "core {} was idle longest: {} of its {} cycles",
+        laziest,
+        idle_of(laziest),
+        p.elapsed[laziest]
+    );
+}

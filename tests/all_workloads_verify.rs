@@ -57,6 +57,40 @@ fn all_workloads_verify_on_single_core() {
 }
 
 #[test]
+fn all_workloads_verify_with_the_profiler_attached() {
+    // Attaching the cycle-attribution profiler must not perturb the
+    // simulation (same cycles and instructions as the unprofiled run)
+    // and must account for every simulated cycle on every core.
+    for b in table1_benchmarks(Scale::Tiny) {
+        let off = b.run(machine(), RuntimeConfig::work_stealing());
+        let mut m = machine();
+        m.profile = true;
+        let on = b.run(m, RuntimeConfig::work_stealing());
+        assert!(on.verified, "{} failed with profiler attached", b.name());
+        assert_eq!(
+            off.report.cycles,
+            on.report.cycles,
+            "{}: profiling changed the cycle count",
+            b.name()
+        );
+        assert_eq!(
+            off.report.instructions(),
+            on.report.instructions(),
+            "{}: profiling changed the instruction count",
+            b.name()
+        );
+        let p = on.report.profile.as_ref().expect("profiler was enabled");
+        assert_eq!(
+            p.accounting_error(),
+            None,
+            "{}: bucket totals diverge from elapsed cycles",
+            b.name()
+        );
+        assert!(off.report.profile.is_none());
+    }
+}
+
+#[test]
 fn mixed_placement_configs_also_verify() {
     let cfgs = [
         RuntimeConfig {
