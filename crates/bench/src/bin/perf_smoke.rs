@@ -1,0 +1,122 @@
+//! CI performance smoke for the window-parallel engine: run a small
+//! fixed workload set on the paper-shaped 16x8 mesh at
+//! `--host-threads 1` and at the parallel setting (default 4), assert
+//! the reports are byte-identical, and record the wall-clock speedup
+//! under `results/perf/ci_speedup.json`.
+//!
+//! Identity is a hard failure (exit 1): the whole point of the
+//! conservative-lookahead engine is that host parallelism cannot move
+//! a single simulated cycle. The speedup target (1.5x in CI, 2x on an
+//! unloaded host) is advisory only — shared CI runners make wall-clock
+//! noisy, so a shortfall prints a prominent warning but exits 0; the
+//! JSON artifact keeps the trend auditable across runs.
+
+use mosaic_bench::Options;
+use mosaic_runtime::RuntimeConfig;
+use mosaic_workloads::{cilksort, uts, Benchmark, Scale};
+use std::time::Instant;
+
+/// Advisory wall-clock target: parallel sweep at least this much
+/// faster than sequential before CI stops warning.
+const SPEEDUP_TARGET: f64 = 1.5;
+
+fn main() {
+    let opts = Options::parse(Scale::Tiny, 16, 8);
+    // `--host-threads` names the parallel setting under test; the
+    // sequential baseline is always 1.
+    let par_threads = if opts.host_threads > 1 {
+        opts.host_threads
+    } else {
+        4
+    };
+
+    // A deliberately small, spawn-heavy subset: UTS and CilkSort lean
+    // hardest on the engine's event loop (fine-grained tasks, lots of
+    // SPM traffic), which is exactly what the window-parallel path
+    // accelerates. The full table sweeps stay in reproduce_all.
+    let mut benches: Vec<Box<dyn Benchmark>> = Vec::new();
+    benches.extend(uts::instances(opts.scale));
+    benches.extend(cilksort::instances(opts.scale));
+
+    let (seq_fp, seq_secs) = sweep(&benches, &opts, 1);
+    let (par_fp, par_secs) = sweep(&benches, &opts, par_threads);
+
+    if seq_fp != par_fp {
+        eprintln!("PERF SMOKE FAILED: reports differ between --host-threads 1 and {par_threads}");
+        for (a, b) in seq_fp.iter().zip(&par_fp) {
+            if a != b {
+                eprintln!("  sequential: {a}");
+                eprintln!("  parallel:   {b}");
+            }
+        }
+        std::process::exit(1);
+    }
+
+    let speedup = seq_secs / par_secs.max(1e-9);
+    println!(
+        "perf smoke: {} benches, 16x8 {}: {:.2}s at --host-threads 1, {:.2}s at --host-threads {par_threads} => {:.2}x",
+        benches.len(),
+        opts.scale_name(),
+        seq_secs,
+        par_secs,
+        speedup
+    );
+
+    // Record the host budget alongside the numbers: a shortfall on a
+    // saturated or single-core runner is expected, not a regression.
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    std::fs::create_dir_all("results/perf").expect("mkdir results/perf");
+    let json = jsonlite::Json::obj()
+        .field("host_cores", host_cores as u64)
+        .field("cols", opts.cols as u64)
+        .field("rows", opts.rows as u64)
+        .field("scale", opts.scale_name())
+        .field("benches", benches.len() as u64)
+        .field("host_threads", par_threads as u64)
+        .field("seq_secs", format!("{seq_secs:.3}").as_str())
+        .field("par_secs", format!("{par_secs:.3}").as_str())
+        .field("speedup", format!("{speedup:.3}").as_str())
+        .field("target", format!("{SPEEDUP_TARGET:.1}").as_str())
+        .field("identical", true)
+        .build();
+    std::fs::write("results/perf/ci_speedup.json", json.write()).expect("write speedup json");
+    println!("wrote results/perf/ci_speedup.json");
+
+    if speedup < SPEEDUP_TARGET {
+        eprintln!(
+            "WARNING: speedup {speedup:.2}x below the {SPEEDUP_TARGET:.1}x target on a \
+             {host_cores}-core host (advisory: shared runners are noisy and a window-parallel \
+             engine cannot beat sequential without spare cores; results were byte-identical)"
+        );
+    }
+}
+
+/// Run every bench sequentially (one simulation at a time, so the
+/// engine's own threads are the only parallelism) at the given
+/// host-thread count. Returns per-bench report fingerprints and the
+/// total wall-clock seconds.
+fn sweep(
+    benches: &[Box<dyn Benchmark>],
+    opts: &Options,
+    host_threads: usize,
+) -> (Vec<String>, f64) {
+    let mut fingerprints = Vec::with_capacity(benches.len());
+    let start = Instant::now();
+    for bench in benches {
+        let mut machine = opts.machine();
+        machine.host_threads = host_threads;
+        let out = bench.run(machine, RuntimeConfig::work_stealing());
+        out.assert_verified();
+        let r = &out.report;
+        fingerprints.push(format!(
+            "{}: {} cycles, {} instructions, totals {:?}",
+            bench.name(),
+            r.cycles,
+            r.instructions(),
+            r.totals()
+        ));
+    }
+    (fingerprints, start.elapsed().as_secs_f64())
+}

@@ -84,6 +84,7 @@ fn via_server(addr: &str, flags: &[String]) {
     let mut rows: u16 = 0;
     let mut sanitize = false;
     let mut faults = String::new();
+    let mut host_threads: usize = 1;
     let mut check = false;
     let mut write = false;
     let mut it = flags.iter();
@@ -103,6 +104,12 @@ fn via_server(addr: &str, flags: &[String]) {
             }
             "--sanitize" => sanitize = true,
             "--faults" => faults = value("--faults"),
+            "--host-threads" => {
+                host_threads = value("--host-threads")
+                    .parse::<usize>()
+                    .expect("--host-threads must be an integer")
+                    .max(1);
+            }
             "--check-golden" => check = true,
             "--write-golden" => write = true,
             "--jobs" => {
@@ -131,6 +138,7 @@ fn via_server(addr: &str, flags: &[String]) {
         spec.rows = rows;
         spec.sanitize = sanitize;
         spec.faults = faults.clone();
+        spec.host_threads = host_threads;
         match client.submit(&spec) {
             Ok(SubmitReply::Accepted { id, state, cached }) => {
                 eprintln!(

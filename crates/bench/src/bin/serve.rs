@@ -27,6 +27,7 @@ fn main() {
     let mut cfg = ServerConfig::default();
     let mut workers: Option<usize> = None;
     let mut child_jobs: Option<usize> = None;
+    let mut host_threads: usize = 1;
     let mut chaos_host = HostFaultPlan::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,6 +56,12 @@ fn main() {
                         .expect("--child-jobs must be an integer"),
                 );
             }
+            "--host-threads" => {
+                host_threads = value("--host-threads")
+                    .parse::<usize>()
+                    .expect("--host-threads must be an integer")
+                    .max(1);
+            }
             "--timeout-secs" => {
                 cfg.sched.job_timeout = Duration::from_secs(
                     value("--timeout-secs")
@@ -82,6 +89,8 @@ fn main() {
                      --queue-cap N          admission-control queue depth cap (default 64)\n         \
                      --workers N            concurrent jobs (default: host cores / threads-per-sim)\n         \
                      --child-jobs N         --jobs handed to each experiment child (default: fill the budget)\n         \
+                     --host-threads N       window-parallel engine threads per simulation (default 1;\n                                \
+                     results byte-identical, budget shrinks workers to compensate)\n         \
                      --timeout-secs N       per-job wall-clock timeout (default 600)\n         \
                      --cache-dir PATH       on-disk result cache (default results/cache)\n         \
                      --no-cache-dir         memory-only cache\n         \
@@ -97,9 +106,13 @@ fn main() {
 
     // Budget concurrent simulations the same way the sweep pool does:
     // each simulation of the default 8x4 experiment mesh occupies
-    // cores+1 host threads, and workers × child_jobs of them may run
-    // at once.
-    let threads_per_sim = MachineConfig::small(8, 4).host_threads_per_run();
+    // cores + host_threads host threads, and workers × child_jobs of
+    // them may run at once — so
+    // workers × child_jobs × host_threads_per_run ≤ host cores holds
+    // whatever the window-parallel setting.
+    let mut budget_machine = MachineConfig::small(8, 4);
+    budget_machine.host_threads = host_threads;
+    let threads_per_sim = budget_machine.host_threads_per_run();
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -110,11 +123,12 @@ fn main() {
         ..cfg.sched
     };
 
-    let executor = BinExecutor::beside_current_exe(child_jobs).expect("locate harness binaries");
+    let executor =
+        BinExecutor::beside_current_exe(child_jobs, host_threads).expect("locate harness binaries");
     eprintln!(
-        "serve: {} workers x {} child jobs ({} host threads/sim, {} host cores), queue cap {}, timeout {:?}, {} attempts/job",
-        workers, child_jobs, threads_per_sim, host, cfg.sched.queue_cap, cfg.sched.job_timeout,
-        cfg.sched.retry.max_attempts
+        "serve: {} workers x {} child jobs x {} engine threads ({} host threads/sim, {} host cores), queue cap {}, timeout {:?}, {} attempts/job",
+        workers, child_jobs, host_threads, threads_per_sim, host, cfg.sched.queue_cap,
+        cfg.sched.job_timeout, cfg.sched.retry.max_attempts
     );
     let executor: Arc<dyn Executor> = if chaos_host.is_empty() {
         Arc::new(executor)

@@ -33,6 +33,11 @@ pub struct Options {
     /// Host threads for independent simulation cells (`--jobs`);
     /// `None` = pick a default from the host/machine core counts.
     pub jobs: Option<usize>,
+    /// Host threads *within* each simulation (`--host-threads`):
+    /// `MachineConfig::host_threads` for the window-parallel engine.
+    /// Purely a host performance knob — results are byte-identical for
+    /// every value (CI diffs goldens and profiles across 1/2/4).
+    pub host_threads: usize,
     /// Golden-number mode.
     pub golden: GoldenMode,
     /// Directory for golden files (`--golden-dir`); `None` = the
@@ -75,6 +80,7 @@ impl Options {
             cols: default_cols,
             rows: default_rows,
             jobs: None,
+            host_threads: 1,
             golden: GoldenMode::Run,
             golden_dir: None,
             sanitize: false,
@@ -120,6 +126,14 @@ impl Options {
                         .expect("--jobs must be an integer");
                     opts.jobs = Some(n.max(1));
                 }
+                "--host-threads" => {
+                    let n: usize = args
+                        .next()
+                        .expect("--host-threads needs a value")
+                        .parse()
+                        .expect("--host-threads must be an integer");
+                    opts.host_threads = n.max(1);
+                }
                 "--check-golden" => opts.golden = GoldenMode::Check,
                 "--write-golden" => opts.golden = GoldenMode::Write,
                 "--golden-dir" => {
@@ -143,6 +157,8 @@ impl Options {
                          --cols N --rows N          mesh dimensions\n         \
                          --paper                    16x8 = 128 cores (paper machine)\n         \
                          --jobs N                   host threads for independent cells\n         \
+                         --host-threads N           host threads per simulation (window-parallel\n                                    \
+                         engine; results byte-identical for every N)\n         \
                          --check-golden             verify against results/golden/ (exit 1 on drift)\n         \
                          --write-golden             re-bless results/golden/ with this run\n         \
                          --golden-dir PATH          read/write goldens under PATH instead\n         \
@@ -166,6 +182,7 @@ impl Options {
         m.sanitize = self.sanitize;
         m.faults = self.faults.clone();
         m.profile = self.profile;
+        m.host_threads = self.host_threads.max(1);
         m
     }
 

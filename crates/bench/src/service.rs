@@ -47,11 +47,18 @@ pub struct BinExecutor {
     /// `--jobs` handed to each child, budgeted so
     /// `workers × child_jobs × host_threads_per_run ≤ host cores`.
     pub child_jobs: usize,
+    /// Default `--host-threads` per simulation (the window-parallel
+    /// engine); a spec's own `host_threads` can raise it per job. Part
+    /// of the same budget: `host_threads_per_run` grows with it.
+    pub host_threads: usize,
 }
 
 impl BinExecutor {
     /// An executor running the binaries next to the current one.
-    pub fn beside_current_exe(child_jobs: usize) -> std::io::Result<BinExecutor> {
+    pub fn beside_current_exe(
+        child_jobs: usize,
+        host_threads: usize,
+    ) -> std::io::Result<BinExecutor> {
         let exe = std::env::current_exe()?;
         let exe_dir = exe
             .parent()
@@ -60,6 +67,7 @@ impl BinExecutor {
         Ok(BinExecutor {
             exe_dir,
             child_jobs: child_jobs.max(1),
+            host_threads: host_threads.max(1),
         })
     }
 
@@ -123,6 +131,13 @@ impl Executor for BinExecutor {
             cmd.args(["--faults", &spec.faults]);
         }
         cmd.args(["--jobs", &self.child_jobs.to_string()]);
+        let host_threads = spec.host_threads.max(self.host_threads);
+        if host_threads > 1 {
+            // Window-parallel engine inside each simulation. Omitted at
+            // the default so legacy argv (and child behaviour) is
+            // unchanged; the digest ignores it either way.
+            cmd.args(["--host-threads", &host_threads.to_string()]);
+        }
         cmd.arg("--write-golden").arg("--golden-dir").arg(&scratch);
         cmd.stdin(Stdio::null())
             .stdout(Stdio::null())

@@ -1,0 +1,81 @@
+//! Cross-thread-count determinism: the window-parallel engine
+//! (`MachineConfig::host_threads`) must produce *byte-identical*
+//! artifacts — golden JSON and profile JSON, the exact bytes CI diffs
+//! and the serve cache stores — at every host-thread count. This is
+//! the invariant that lets `JobSpec::digest` ignore `host_threads`
+//! and lets the `par-determinism` CI job diff emitted files directly.
+
+use mosaic_bench::golden::GoldenFile;
+use mosaic_bench::prof;
+use mosaic_chaos::FaultPlan;
+use mosaic_runtime::RuntimeConfig;
+use mosaic_sim::MachineConfig;
+use mosaic_workloads::{fib, uts, Benchmark, Scale};
+use proptest::prelude::*;
+
+/// Run one bench with the profiler attached and serialize the run the
+/// way the harnesses do: a golden file plus a profile JSON blob.
+fn artifacts(
+    bench: &dyn Benchmark,
+    cols: u16,
+    rows: u16,
+    host_threads: usize,
+    faults: Option<&FaultPlan>,
+) -> (String, String) {
+    let mut machine = MachineConfig::small(cols, rows);
+    machine.profile = true;
+    machine.faults = faults.cloned();
+    machine.host_threads = host_threads;
+    let out = bench.run(machine, RuntimeConfig::work_stealing());
+    let r = &out.report;
+    let mut golden = GoldenFile::new("par_identity", "tiny", cols, rows);
+    golden.push(bench.name(), "ws", r.cycles, r.instructions(), out.verified);
+    let profile = r.profile.as_ref().expect("profiler was attached");
+    let prof_json = prof::profile_to_json("par_identity/ws", profile);
+    (golden.to_json(), prof_json)
+}
+
+proptest! {
+    // Each case is several full simulations; a handful of cases keeps
+    // the suite CI-friendly while still sampling workload x shape x
+    // thread-count combinations the fixed tests would miss.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn goldens_and_profiles_are_byte_identical_across_host_threads(
+        which in 0..2usize,
+        wide in any::<bool>(),
+        host_threads in 2..=8usize,
+    ) {
+        let bench: Box<dyn Benchmark> = if which == 0 {
+            fib::instances(Scale::Tiny).remove(0)
+        } else {
+            uts::instances(Scale::Tiny).remove(0)
+        };
+        let (cols, rows) = if wide { (4, 4) } else { (4, 2) };
+        let (golden_seq, prof_seq) = artifacts(bench.as_ref(), cols, rows, 1, None);
+        let (golden_par, prof_par) = artifacts(bench.as_ref(), cols, rows, host_threads, None);
+        prop_assert_eq!(golden_seq, golden_par);
+        prop_assert_eq!(prof_seq, prof_par);
+    }
+}
+
+#[test]
+fn freeze_faults_stay_deterministic_across_host_threads() {
+    // Chaos freezes are scheduled engine-side at wake-schedule time,
+    // so they land on the same simulated cycle whether or not the core
+    // thread was computing ahead of the barrier. A timing-only plan
+    // (freezes + link/bank/DRAM delays, no bit flips) must therefore
+    // shift cycles identically at every host-thread count.
+    let plan = FaultPlan::parse("seed=3,horizon=4000,links=8x200,banks=4x150+20,freeze=3x400")
+        .expect("valid plan");
+    let bench = &uts::instances(Scale::Tiny)[0];
+    let baseline = artifacts(bench.as_ref(), 4, 2, 1, Some(&plan));
+    for host_threads in [2, 4] {
+        let parallel = artifacts(bench.as_ref(), 4, 2, host_threads, Some(&plan));
+        assert_eq!(
+            baseline, parallel,
+            "faulted run diverged at host_threads={host_threads}"
+        );
+    }
+}

@@ -122,6 +122,14 @@ impl Mesh {
         &self.config
     }
 
+    /// Router pipeline latency charged per hop, in cycles. This is the
+    /// smallest cross-component latency in the machine, which makes it
+    /// the conservative lookahead quantum of the window-parallel engine
+    /// in `mosaic-sim`.
+    pub fn hop_latency(&self) -> Cycle {
+        self.hop_latency
+    }
+
     /// Number of unidirectional links in the network.
     pub fn link_count(&self) -> usize {
         self.next_free.len()
@@ -135,6 +143,49 @@ impl Mesh {
     /// is charged by the memory endpoint models, not the network.
     pub fn traverse(&mut self, src: NodeId, dst: NodeId, cycle: Cycle, flits: u32) -> Cycle {
         debug_assert!(flits >= 1, "packets carry at least one flit");
+        let stalled = !self.stalls.is_empty();
+        self.advance(src, dst, cycle, flits, stalled)
+    }
+
+    /// Route a request packet `src → dst` and its response `dst → src`
+    /// in one call. `service` maps the request's tail-arrival cycle at
+    /// `dst` to the cycle the endpoint injects the response. Returns
+    /// the response's tail-arrival cycle back at `src`.
+    ///
+    /// Cycle-for-cycle equivalent to two [`Mesh::traverse`] calls with
+    /// the endpoint model in between, but both directions' per-link
+    /// flit advancement runs as one batch with the stall-window check
+    /// (empty outside fault injection) hoisted out of the hot loop —
+    /// one of the cheap wins that feeds the engine's per-window event
+    /// batching.
+    pub fn traverse_roundtrip(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        cycle: Cycle,
+        flits: u32,
+        service: impl FnOnce(Cycle) -> Cycle,
+    ) -> Cycle {
+        debug_assert!(flits >= 1, "packets carry at least one flit");
+        let stalled = !self.stalls.is_empty();
+        let there = self.advance(src, dst, cycle, flits, stalled);
+        let back = service(there);
+        self.advance(dst, src, back, flits, stalled)
+    }
+
+    /// Reserve every link of one route and return the packet's
+    /// tail-arrival cycle. `stalled` hoists the fault-window check out
+    /// of the per-link loop (the caller reads it once per packet or
+    /// per roundtrip).
+    #[inline]
+    fn advance(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        cycle: Cycle,
+        flits: u32,
+        stalled: bool,
+    ) -> Cycle {
         let route = self.config.route(src, dst);
         let mut head = cycle;
         for link in route.links() {
@@ -143,7 +194,7 @@ impl Mesh {
             // `hop_latency` to cross; the remaining flits pipeline behind
             // it, holding the link for `flits` cycles total.
             let mut start = head.max(self.next_free[idx]);
-            if !self.stalls.is_empty() {
+            if stalled {
                 start = self.past_stalls(idx, start);
             }
             head = start + self.hop_latency;
@@ -284,6 +335,37 @@ mod tests {
         assert_eq!(m.past_stalls(route_first_link, 0), 20);
         assert_eq!(m.past_stalls(route_first_link, 20), 20);
         let _ = (src, dst);
+    }
+
+    #[test]
+    fn roundtrip_matches_two_traversals_cycle_for_cycle() {
+        let endpoint = |arrive: Cycle| arrive + 7;
+        // Several back-to-back round trips so link reservations from
+        // earlier packets shape later ones; both meshes must agree on
+        // every completion cycle *and* every link counter.
+        let mut split = small();
+        let mut batched = small();
+        split.inject_link_stall(0, 5, 15);
+        batched.inject_link_stall(0, 5, 15);
+        let src = split.config().core_node(0);
+        let dst = split.config().core_node(14);
+        for i in 0..10u64 {
+            let cycle = i * 3;
+            let there = split.traverse(src, dst, cycle, 2);
+            let done_split = split.traverse(dst, src, endpoint(there), 2);
+            let done_batched = batched.traverse_roundtrip(src, dst, cycle, 2, endpoint);
+            assert_eq!(done_split, done_batched, "trip {i}");
+        }
+        assert_eq!(
+            split.link_stats().total_flits(),
+            batched.link_stats().total_flits()
+        );
+        assert_eq!(split.probe(src, dst, 0, 1), batched.probe(src, dst, 0, 1));
+    }
+
+    #[test]
+    fn hop_latency_is_exposed_for_lookahead_sizing() {
+        assert_eq!(small().hop_latency(), 1);
     }
 
     #[test]

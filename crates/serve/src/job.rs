@@ -40,6 +40,13 @@ pub struct JobSpec {
     /// faulted run is a different computation from a clean one and
     /// must never share a cache entry with it.
     pub faults: String,
+    /// Host threads per simulation (`MachineConfig::host_threads`,
+    /// the window-parallel engine). Rides the wire so executors can
+    /// honor it, but is deliberately **excluded from the digest**: the
+    /// engine is byte-identical at every value, so runs at different
+    /// thread counts are the same computation and must share a cache
+    /// entry (asserted by `digest_ignores_host_threads`).
+    pub host_threads: usize,
 }
 
 impl JobSpec {
@@ -56,10 +63,29 @@ impl JobSpec {
             seed: 0,
             sanitize: false,
             faults: String::new(),
+            host_threads: 1,
         }
     }
 
-    /// Serialize in canonical field order (the digest input).
+    /// Serialize the result-determining fields in canonical order —
+    /// the digest input. `host_threads` is omitted on purpose: it
+    /// cannot change a single output byte (see the field docs).
+    fn canonical_json(&self) -> Json {
+        Json::obj()
+            .field("experiment", self.experiment.as_str())
+            .field("workload", self.workload.as_str())
+            .field("config", self.config.as_str())
+            .field("scale", self.scale.as_str())
+            .field("cols", self.cols as u64)
+            .field("rows", self.rows as u64)
+            .field("seed", self.seed)
+            .field("sanitize", self.sanitize)
+            .field("faults", self.faults.as_str())
+            .build()
+    }
+
+    /// Serialize the full wire/cache form: the canonical fields plus
+    /// host-side knobs that executors honor but the digest ignores.
     pub fn to_json(&self) -> Json {
         Json::obj()
             .field("experiment", self.experiment.as_str())
@@ -71,6 +97,7 @@ impl JobSpec {
             .field("seed", self.seed)
             .field("sanitize", self.sanitize)
             .field("faults", self.faults.as_str())
+            .field("host_threads", self.host_threads as u64)
             .build()
     }
 
@@ -92,14 +119,21 @@ impl JobSpec {
                 Some(f) => f.as_string()?,
                 None => String::new(),
             },
+            // Absent in specs from before the window-parallel engine:
+            // sequential, exactly as those clients ran.
+            host_threads: match obj.opt("host_threads") {
+                Some(h) => (h.as_u64()? as usize).max(1),
+                None => 1,
+            },
         })
     }
 
     /// Stable content digest: FNV-1a/64 over the canonical JSON form,
     /// as 16 lowercase hex digits. Used as the job id, the cache key,
-    /// and the on-disk cache file name.
+    /// and the on-disk cache file name. Host-side knobs that cannot
+    /// affect results (`host_threads`) are not part of it.
     pub fn digest(&self) -> String {
-        format!("{:016x}", fnv1a64(self.to_json().write().as_bytes()))
+        format!("{:016x}", fnv1a64(self.canonical_json().write().as_bytes()))
     }
 }
 
@@ -205,7 +239,26 @@ mod tests {
         s.seed = 7;
         s.sanitize = true;
         s.faults = "seed=3,horizon=5000,freeze=2x100".into();
+        s.host_threads = 4;
         assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn digest_ignores_host_threads() {
+        // The window-parallel engine is byte-identical at every thread
+        // count, so host_threads must ride the wire without changing
+        // the content address — otherwise identical results would be
+        // cached (and recomputed) once per thread count.
+        let a = JobSpec::new("table1", "tiny");
+        let mut b = a.clone();
+        b.host_threads = 4;
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(
+            a.to_json().write(),
+            b.to_json().write(),
+            "wire form still carries it"
+        );
+        assert_eq!(JobSpec::from_json(&b.to_json()).unwrap().host_threads, 4);
     }
 
     #[test]

@@ -2,9 +2,33 @@
 //!
 //! Each simulated core runs its behaviour closure on a dedicated OS
 //! thread, written in ordinary *blocking* style against [`CoreApi`].
-//! The engine owns the [`Machine`] and wakes exactly one core thread
-//! at a time in global cycle order, so simulation is sequential and
-//! bit-deterministic. See the crate docs for the protocol.
+//! The engine owns the [`Machine`] and applies core requests strictly
+//! in global `(cycle, seq)` order, so simulation is bit-deterministic.
+//! See the crate docs for the protocol.
+//!
+//! ## Host parallelism (`MachineConfig::host_threads`)
+//!
+//! With `host_threads = 1` (the default) the engine wakes exactly one
+//! core thread at a time: classic sequential discrete-event execution.
+//! With `host_threads = N > 1` it runs the *window-parallel* engine:
+//! up to `N - 1` core threads compute ahead of the barrier at once.
+//! This is a conservative-lookahead scheme specialized to this
+//! machine's structure. A core's wake — its reply value and wake
+//! cycle — is immutable from the moment it is scheduled, because all
+//! cross-component state (mesh reservations, LLC banks, DRAM,
+//! functional memory) is only ever mutated by the engine thread when
+//! it *applies* requests at the barrier, in canonical calendar order.
+//! So the engine may deliver a scheduled wake early; the core-cluster
+//! "component group" then advances independently through its window —
+//! from that wake to its next synchronizing operation, which is always
+//! at least the minimum cross-component latency (one NoC hop) away —
+//! while the engine applies other groups' events. The request the core
+//! produces is exchanged at the window barrier: it sits in the core's
+//! channel until its event pops in canonical merge order. Application
+//! order, and therefore every simulated number, is byte-identical to
+//! the sequential engine; `docs/determinism.md` has the full argument
+//! and CI diffs goldens and profiles across `--host-threads 1/2/4` on
+//! every push.
 //!
 //! ## Timing semantics
 //!
@@ -19,12 +43,11 @@
 //!   [`CoreApi::fence`] drains it (release semantics are built from
 //!   `fence` + AMO, as on HammerBlade).
 
+use crate::calendar::CalendarQueue;
 use crate::counters::MachineCounters;
 use crate::{Addr, CoreId, Cycle, Machine};
 use mosaic_mem::AmoOp;
 use mosaic_prof::{Phase, ProfSink};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread;
@@ -447,7 +470,7 @@ impl Engine {
             handles.push(handle);
         }
 
-        let result = Self::event_loop(machine, cores, &req_rxs, &reply_txs);
+        let result = EventLoop::new(machine, cores, &req_rxs, &reply_txs).run();
 
         // Drop reply senders so any still-blocked threads unblock, then
         // join everything before surfacing errors.
@@ -458,136 +481,245 @@ impl Engine {
 
         result
     }
+}
 
-    fn event_loop(
-        mut machine: Machine,
+/// Engine-side state of one running simulation: the calendar event
+/// queue, per-core slots, and the channels to every core thread. One
+/// per [`Engine::try_run`]; [`EventLoop::run`] consumes it and returns
+/// the final [`Report`].
+struct EventLoop<'ch> {
+    machine: Machine,
+    counters: MachineCounters,
+    queue: CalendarQueue,
+    pending: Vec<Option<Pending>>,
+    store_queues: Vec<Vec<Cycle>>,
+    depth: usize,
+    seq: u64,
+    live: usize,
+    last_halt: Cycle,
+    max_cycles: Cycle,
+    /// One flag read up front: with no fault plan installed, the loop
+    /// body does no per-event fault work at all.
+    faults: bool,
+    /// Same pattern for the profiler: one `Option` read here, every
+    /// attribution behind `if let Some(..)`.
+    prof: Option<ProfSink>,
+    req_rxs: &'ch [Receiver<Request>],
+    reply_txs: &'ch [Sender<Reply>],
+    /// Window-parallel mode: how many core threads may compute ahead
+    /// of the barrier at once (a small pipeline multiple of
+    /// `host_threads - 1`; `0` is the lock-step sequential engine).
+    eager_cap: usize,
+    /// Wakes delivered early whose requests are not yet consumed.
+    outstanding: usize,
+    /// Per-core flag: the core's queued wake was already delivered.
+    delivered: Vec<bool>,
+    /// Scratch for [`EventLoop::top_up`], reused so steady state stays
+    /// allocation-free.
+    eager_scratch: Vec<(CoreId, u32, Cycle)>,
+}
+
+impl<'ch> EventLoop<'ch> {
+    fn new(
+        machine: Machine,
         cores: usize,
-        req_rxs: &[Receiver<Request>],
-        reply_txs: &[Sender<Reply>],
-    ) -> Result<Report, SimError> {
-        let mut counters = MachineCounters::new(cores);
-        let mut heap: BinaryHeap<Reverse<(Cycle, u64, CoreId)>> = BinaryHeap::new();
-        let mut pending: Vec<Option<Pending>> = Vec::with_capacity(cores);
-        let mut store_queues: Vec<Vec<Cycle>> = vec![Vec::new(); cores];
+        req_rxs: &'ch [Receiver<Request>],
+        reply_txs: &'ch [Sender<Reply>],
+    ) -> EventLoop<'ch> {
         let depth = machine.config().store_queue_depth;
-        let mut seq = 0u64;
-        let mut live = cores;
-        let mut last_halt = 0;
         let max_cycles = machine.config().max_cycles;
-        // One flag read up front: with no fault plan installed, the
-        // loop body below does no per-event fault work at all.
+        // Each extra host thread buys a few wakes of pipeline depth,
+        // not just one: delivering slightly more wakes than there are
+        // spare host cores hides the futex wake-up latency between a
+        // reply landing and the core thread actually running. Kept
+        // small so `top_up`'s queue scan stays cheap per event.
+        const EAGER_PIPELINE: usize = 4;
+        let eager_cap = machine.config().host_threads.saturating_sub(1) * EAGER_PIPELINE;
         let faults = machine.faults_active();
-        // Same pattern for the profiler: one Option read here, and every
-        // attribution below is behind `if let Some(..)`.
         let prof = machine.prof_sink();
+        // Bucket width: a small multiple of the machine's conservative
+        // lookahead keeps one window's wakes in a day or two of the
+        // ring, so pops stay short scans.
+        let queue = CalendarQueue::with_width(machine.lookahead() * 16);
+        EventLoop {
+            counters: MachineCounters::new(cores),
+            queue,
+            pending: Vec::with_capacity(cores),
+            // Pre-size each store queue to its hard cap so the loop
+            // never grows them (the calendar queue likewise recycles
+            // its bucket storage).
+            store_queues: (0..cores).map(|_| Vec::with_capacity(depth + 1)).collect(),
+            depth,
+            seq: 0,
+            live: cores,
+            last_halt: 0,
+            max_cycles,
+            faults,
+            prof,
+            req_rxs,
+            reply_txs,
+            eager_cap,
+            outstanding: 0,
+            delivered: vec![false; cores],
+            eager_scratch: Vec::new(),
+            machine,
+        }
+    }
 
-        for core in 0..cores {
-            let at = if faults {
-                machine.freeze_adjust(core, 0)
+    fn run(mut self) -> Result<Report, SimError> {
+        for core in 0..self.req_rxs.len() {
+            let at = if self.faults {
+                self.machine.freeze_adjust(core, 0)
             } else {
                 0
             };
-            if let Some(p) = &prof {
+            if let Some(p) = &self.prof {
                 // A fault-injected freeze can delay the very first wake;
                 // the core is idle until then.
                 p.idle_wait(core, 0, at);
             }
-            pending.push(Some(Pending::Wake(0)));
-            heap.push(Reverse((at, seq, core)));
-            seq += 1;
+            self.pending.push(None);
+            self.schedule_wake(core, 0, at)?;
         }
 
-        while let Some(Reverse((cycle, _, core))) = heap.pop() {
-            if max_cycles > 0 && cycle > max_cycles {
+        while let Some((cycle, _, core)) = self.queue.pop() {
+            if self.max_cycles > 0 && cycle > self.max_cycles {
                 return Err(SimError::Watchdog {
-                    max_cycles,
-                    live,
-                    diagnostics: Self::diagnostics(&machine, cycle, &pending, &store_queues),
+                    max_cycles: self.max_cycles,
+                    live: self.live,
+                    diagnostics: self.diagnostics(cycle),
                 });
             }
-            if faults {
+            if self.faults {
                 // Apply any bit flips whose scheduled cycle has come.
-                machine.apply_flips_due(cycle);
+                self.machine.apply_flips_due(cycle);
             }
-            let slot = pending[core]
+            let slot = self.pending[core]
                 .take()
                 .expect("core event without pending state");
             match slot {
                 Pending::Wake(value) => {
-                    // Wake the core thread and collect its next request.
-                    if reply_txs[core].send(Reply { value, now: cycle }).is_err() {
+                    if self.delivered[core] {
+                        // Window-parallel: the wake went out when it
+                        // was scheduled and the core has been computing
+                        // ahead; its request is in (or headed for) the
+                        // channel already.
+                        self.delivered[core] = false;
+                        self.outstanding -= 1;
+                    } else if self.reply_txs[core]
+                        .send(Reply { value, now: cycle })
+                        .is_err()
+                    {
                         return Err(SimError::CoreDied { core });
                     }
-                    let req = req_rxs[core]
+                    let req = self.req_rxs[core]
                         .recv()
                         .map_err(|_| SimError::CoreDied { core })?;
-                    Self::handle_request(
-                        core,
-                        cycle,
-                        req,
-                        &mut machine,
-                        &mut counters,
-                        &mut store_queues,
-                        depth,
-                        &mut heap,
-                        &mut pending,
-                        &mut seq,
-                        &mut live,
-                        &mut last_halt,
-                        &prof,
-                    )?;
+                    self.handle_request(core, cycle, req)?;
+                    // Consuming the request freed a window slot.
+                    self.top_up()?;
                 }
                 Pending::Issue(req) => {
                     // Deferred memory op: issue at exactly this cycle.
-                    Self::issue_mem(
-                        core,
-                        cycle,
-                        req,
-                        &mut machine,
-                        &mut counters,
-                        &mut store_queues,
-                        depth,
-                        &mut heap,
-                        &mut pending,
-                        &mut seq,
-                        &prof,
-                    );
+                    self.issue_mem(core, cycle, req)?;
                 }
             }
-            if live == 0 {
+            if self.live == 0 {
                 break;
             }
         }
 
-        if live > 0 {
-            let diagnostics = Self::diagnostics(&machine, last_halt, &pending, &store_queues);
-            return Err(SimError::Deadlock { live, diagnostics });
+        if self.live > 0 {
+            let diagnostics = self.diagnostics(self.last_halt);
+            return Err(SimError::Deadlock {
+                live: self.live,
+                diagnostics,
+            });
         }
 
-        if faults {
+        if self.faults {
             // All cores halted: land the at-end bit flips in the final
             // payload, after the last write.
-            machine.apply_end_flips();
+            self.machine.apply_end_flips();
         }
 
         Ok(Report {
-            cycles: last_halt,
-            machine,
-            counters,
+            cycles: self.last_halt,
+            machine: self.machine,
+            counters: self.counters,
         })
+    }
+
+    /// Queue a wake for `core` at `at`, delivering it immediately when
+    /// a window-parallel slot is free. Early delivery is
+    /// simulation-invisible: the reply (value and wake cycle) is
+    /// immutable from the moment it is scheduled — every machine
+    /// mutation that produced it has already been applied — and the
+    /// request the core computes waits in its channel until this
+    /// event's canonical `(cycle, seq)` turn at the barrier.
+    ///
+    /// This also holds under fault injection: `freeze_adjust` runs at
+    /// *schedule* time on the engine thread in both modes, so an
+    /// injected freeze lands in `at` before the wake can go out —
+    /// freezes are window-aligned by construction.
+    fn schedule_wake(&mut self, core: CoreId, value: u32, at: Cycle) -> Result<(), SimError> {
+        self.pending[core] = Some(Pending::Wake(value));
+        self.queue.push(at, self.seq, core);
+        self.seq += 1;
+        if self.outstanding < self.eager_cap {
+            self.deliver(core, value, at)?;
+        }
+        Ok(())
+    }
+
+    /// Send a scheduled wake to its core thread.
+    fn deliver(&mut self, core: CoreId, value: u32, at: Cycle) -> Result<(), SimError> {
+        if self.reply_txs[core].send(Reply { value, now: at }).is_err() {
+            return Err(SimError::CoreDied { core });
+        }
+        self.delivered[core] = true;
+        self.outstanding += 1;
+        Ok(())
+    }
+
+    /// After a window slot frees, deliver the soonest still-undelivered
+    /// wakes so `eager_cap` core threads keep computing ahead. Scanning
+    /// in day order (not strict `(cycle, seq)` order) is enough:
+    /// delivery order is simulation-invisible, only the application
+    /// order at the barrier matters.
+    fn top_up(&mut self) -> Result<(), SimError> {
+        if self.outstanding >= self.eager_cap {
+            return Ok(());
+        }
+        let mut picks = std::mem::take(&mut self.eager_scratch);
+        picks.clear();
+        let mut slots = self.eager_cap - self.outstanding;
+        {
+            let pending = &self.pending;
+            let delivered = &self.delivered;
+            self.queue.scan(|(at, _, core)| {
+                if !delivered[core] {
+                    if let Some(Pending::Wake(value)) = pending[core] {
+                        picks.push((core, value, at));
+                        slots -= 1;
+                    }
+                }
+                slots > 0
+            });
+        }
+        for &(core, value, at) in &picks {
+            self.deliver(core, value, at)?;
+        }
+        self.eager_scratch = picks;
+        Ok(())
     }
 
     /// Per-core state plus active fault windows, appended to watchdog
     /// and deadlock errors so a trip under fault injection is
     /// attributable without rerunning.
-    fn diagnostics(
-        machine: &Machine,
-        cycle: Cycle,
-        pending: &[Option<Pending>],
-        store_queues: &[Vec<Cycle>],
-    ) -> String {
+    fn diagnostics(&self, cycle: Cycle) -> String {
         let mut out = String::new();
-        for (core, slot) in pending.iter().enumerate() {
+        for (core, slot) in self.pending.iter().enumerate() {
             let state = match slot {
                 Some(Pending::Wake(_)) => "awaiting wake",
                 Some(Pending::Issue(_)) => "memory op deferred",
@@ -595,30 +727,15 @@ impl Engine {
             };
             out.push_str(&format!(
                 "\n  core {core}: {state}, {} outstanding stores",
-                store_queues[core].len()
+                self.store_queues[core].len()
             ));
         }
-        out.push_str(&machine.watchdog_dump(cycle));
+        out.push_str(&self.machine.watchdog_dump(cycle));
         out
     }
 
     /// Handle a fresh request from a just-woken core at `cycle`.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_request(
-        core: CoreId,
-        cycle: Cycle,
-        req: Request,
-        machine: &mut Machine,
-        counters: &mut MachineCounters,
-        store_queues: &mut [Vec<Cycle>],
-        depth: usize,
-        heap: &mut BinaryHeap<Reverse<(Cycle, u64, CoreId)>>,
-        pending: &mut [Option<Pending>],
-        seq: &mut u64,
-        live: &mut usize,
-        last_halt: &mut Cycle,
-        prof: &Option<ProfSink>,
-    ) -> Result<(), SimError> {
+    fn handle_request(&mut self, core: CoreId, cycle: Cycle, req: Request) -> Result<(), SimError> {
         let (delay, instrs) = match &req {
             Request::Advance { delay, instrs }
             | Request::Load { delay, instrs, .. }
@@ -633,11 +750,11 @@ impl Engine {
                 });
             }
         };
-        counters.core_mut(core).instructions += instrs;
+        self.counters.core_mut(core).instructions += instrs;
         // An injected freeze window pushes the core's next action past
         // the window (identity when no fault plan is installed).
-        let issue = machine.freeze_adjust(core, cycle + delay);
-        if let Some(p) = prof {
+        let issue = self.machine.freeze_adjust(core, cycle + delay);
+        if let Some(p) = &self.prof {
             // `delay` itself was attributed core-side at charge time;
             // only the freeze extension is accounted here.
             p.idle_wait(core, cycle + delay, issue - (cycle + delay));
@@ -645,50 +762,38 @@ impl Engine {
 
         match req {
             Request::Advance { .. } => {
-                pending[core] = Some(Pending::Wake(0));
-                heap.push(Reverse((issue, *seq, core)));
-                *seq += 1;
+                self.schedule_wake(core, 0, issue)?;
             }
             Request::Fence { .. } => {
-                counters.core_mut(core).fences += 1;
-                let drain = store_queues[core].drain(..).max().unwrap_or(0).max(issue);
-                counters.core_mut(core).mem_stall_cycles += drain - issue;
-                if let Some(p) = prof {
+                self.counters.core_mut(core).fences += 1;
+                let drain = self.store_queues[core]
+                    .drain(..)
+                    .max()
+                    .unwrap_or(0)
+                    .max(issue);
+                self.counters.core_mut(core).mem_stall_cycles += drain - issue;
+                if let Some(p) = &self.prof {
                     p.fence_wait(core, issue, drain - issue);
                 }
-                machine.sanitizer_fence(core, issue);
-                pending[core] = Some(Pending::Wake(0));
-                heap.push(Reverse((drain, *seq, core)));
-                *seq += 1;
+                self.machine.sanitizer_fence(core, issue);
+                self.schedule_wake(core, 0, drain)?;
             }
             Request::Halt { .. } => {
-                counters.core_mut(core).halt_cycle = issue;
-                if let Some(p) = prof {
+                self.counters.core_mut(core).halt_cycle = issue;
+                if let Some(p) = &self.prof {
                     p.halt(core, issue);
                 }
-                *live -= 1;
-                *last_halt = (*last_halt).max(issue);
+                self.live -= 1;
+                self.last_halt = self.last_halt.max(issue);
             }
             mem_req @ (Request::Load { .. } | Request::Store { .. } | Request::Amo { .. }) => {
                 if issue > cycle {
                     // Defer so reservations happen in cycle order.
-                    pending[core] = Some(Pending::Issue(mem_req));
-                    heap.push(Reverse((issue, *seq, core)));
-                    *seq += 1;
+                    self.pending[core] = Some(Pending::Issue(mem_req));
+                    self.queue.push(issue, self.seq, core);
+                    self.seq += 1;
                 } else {
-                    Self::issue_mem(
-                        core,
-                        cycle,
-                        mem_req,
-                        machine,
-                        counters,
-                        store_queues,
-                        depth,
-                        heap,
-                        pending,
-                        seq,
-                        prof,
-                    );
+                    self.issue_mem(core, cycle, mem_req)?;
                 }
             }
             Request::Panicked(_) => unreachable!("handled above"),
@@ -697,26 +802,13 @@ impl Engine {
     }
 
     /// Issue a memory request at exactly `cycle` and schedule the wake.
-    #[allow(clippy::too_many_arguments)]
-    fn issue_mem(
-        core: CoreId,
-        cycle: Cycle,
-        req: Request,
-        machine: &mut Machine,
-        counters: &mut MachineCounters,
-        store_queues: &mut [Vec<Cycle>],
-        depth: usize,
-        heap: &mut BinaryHeap<Reverse<(Cycle, u64, CoreId)>>,
-        pending: &mut [Option<Pending>],
-        seq: &mut u64,
-        prof: &Option<ProfSink>,
-    ) {
+    fn issue_mem(&mut self, core: CoreId, cycle: Cycle, req: Request) -> Result<(), SimError> {
         let (wake_raw, value) = match req {
             Request::Load { addr, relaxed, .. } => {
-                counters.core_mut(core).loads += 1;
-                let (v, done) = machine.read(core, addr, cycle, relaxed);
-                counters.core_mut(core).mem_stall_cycles += done - cycle;
-                if let Some(p) = prof {
+                self.counters.core_mut(core).loads += 1;
+                let (v, done) = self.machine.read(core, addr, cycle, relaxed);
+                self.counters.core_mut(core).mem_stall_cycles += done - cycle;
+                if let Some(p) = &self.prof {
                     // The machine noted the access class during `read`.
                     p.mem_stall(core, cycle, done - cycle);
                 }
@@ -725,10 +817,10 @@ impl Engine {
             Request::Amo {
                 addr, op, operand, ..
             } => {
-                counters.core_mut(core).amos += 1;
-                let (v, done) = machine.amo(core, addr, op, operand, cycle);
-                counters.core_mut(core).mem_stall_cycles += done - cycle;
-                if let Some(p) = prof {
+                self.counters.core_mut(core).amos += 1;
+                let (v, done) = self.machine.amo(core, addr, op, operand, cycle);
+                self.counters.core_mut(core).mem_stall_cycles += done - cycle;
+                if let Some(p) = &self.prof {
                     // AMO round trips are ordering waits, not data
                     // stalls — the paper's lock/termination traffic.
                     p.fence_wait(core, cycle, done - cycle);
@@ -741,20 +833,20 @@ impl Engine {
                 relaxed,
                 ..
             } => {
-                counters.core_mut(core).stores += 1;
-                let q = &mut store_queues[core];
+                self.counters.core_mut(core).stores += 1;
+                let q = &mut self.store_queues[core];
                 q.retain(|&c| c > cycle);
                 let mut start = cycle;
-                if q.len() >= depth {
+                if q.len() >= self.depth {
                     // Stall until the oldest outstanding store retires.
                     let oldest = *q.iter().min().expect("queue nonempty");
                     start = start.max(oldest);
                     q.retain(|&c| c > start);
-                    counters.core_mut(core).mem_stall_cycles += start - cycle;
+                    self.counters.core_mut(core).mem_stall_cycles += start - cycle;
                 }
-                let done = machine.write(core, addr, value, start, relaxed);
-                q.push(done);
-                if let Some(p) = prof {
+                let done = self.machine.write(core, addr, value, start, relaxed);
+                self.store_queues[core].push(done);
+                if let Some(p) = &self.prof {
                     // Queue backpressure keeps this store's destination
                     // class (noted by `write` just above); the single
                     // issue cycle follows the current phase.
@@ -766,13 +858,11 @@ impl Engine {
             _ => unreachable!("issue_mem only handles memory requests"),
         };
         // Freeze windows also delay the wakeup after a memory op.
-        let wake_at = machine.freeze_adjust(core, wake_raw);
-        if let Some(p) = prof {
+        let wake_at = self.machine.freeze_adjust(core, wake_raw);
+        if let Some(p) = &self.prof {
             p.idle_wait(core, wake_raw, wake_at - wake_raw);
         }
-        pending[core] = Some(Pending::Wake(value));
-        heap.push(Reverse((wake_at, *seq, core)));
-        *seq += 1;
+        self.schedule_wake(core, value, wake_at)
     }
 }
 
@@ -1183,6 +1273,132 @@ mod tests {
         // dram word 0 is the allocated word; flip bit 1: 100 ^ 2 = 102.
         let plan = FaultPlan::parse("flip=dram:0:1@end").expect("valid spec");
         assert_eq!(run(Some(plan)), 102, "end flip must corrupt the payload");
+    }
+
+    #[test]
+    fn window_parallel_engine_is_byte_identical() {
+        // One busy workload touching every engine path — AMOs, stores
+        // past the queue depth, blocking loads, fences, phased compute,
+        // profiler attached — run at several host_threads values.
+        // Everything observable must match the sequential engine
+        // exactly: cycles, every per-core counter, the memory payload,
+        // and the full profile.
+        let run = |host_threads: usize| {
+            let mut config = MachineConfig::small(4, 2);
+            config.host_threads = host_threads;
+            config.profile = true;
+            let mut machine = Machine::new(config);
+            let a = machine.dram_alloc_words(8);
+            let mut r = Engine::run(machine, move |core| {
+                Box::new(move |api| {
+                    let prev = api.phase_begin(Phase::StealSearch);
+                    api.charge(5, 5 + core as u64);
+                    api.phase_restore(prev);
+                    for i in 0..25u64 {
+                        api.amo(a.offset_words(i % 8), AmoOp::Add, core as u32 + 1);
+                        api.store(a.offset_words((i + core as u64) % 8), 7);
+                        api.load(a.offset_words((i + 3) % 8));
+                        api.charge(3, 3);
+                    }
+                    api.fence();
+                })
+            });
+            let profile = r.machine.take_profile().expect("profiler attached");
+            (
+                r.cycles,
+                format!("{:?}", r.counters),
+                r.machine.peek_slice(a, 8),
+                format!("{profile:?}"),
+            )
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(4));
+        // More window slots than cores collapses to "all cores ahead".
+        assert_eq!(sequential, run(16));
+    }
+
+    #[test]
+    fn window_parallel_engine_is_byte_identical_under_faults() {
+        // Chaos plans must not diverge across host_threads: freezes are
+        // applied by `freeze_adjust` at *schedule* time on the engine
+        // thread in both modes (window-aligned by construction), and
+        // flips land at canonical event-application points.
+        use mosaic_chaos::FaultPlan;
+        let run = |host_threads: usize| {
+            let mut config = MachineConfig::small(4, 2);
+            config.host_threads = host_threads;
+            config.faults = Some(
+                FaultPlan::parse(
+                    "seed=3,horizon=100,links=8x200,banks=4x150+20,dram=2x300+50,\
+                     freeze=2x400,flip=dram:1:3@50",
+                )
+                .expect("valid spec"),
+            );
+            let mut machine = Machine::new(config);
+            let a = machine.dram_alloc_words(8);
+            let r = Engine::run(machine, move |core| {
+                Box::new(move |api| {
+                    for i in 0..20u64 {
+                        api.amo(a.offset_words(i % 8), AmoOp::Add, core as u32 + 1);
+                        api.store(a.offset_words((i + 3) % 8), 7);
+                        api.charge(3, 3);
+                    }
+                    api.fence();
+                })
+            });
+            (
+                r.machine.peek_slice(a, 8),
+                r.cycles,
+                r.machine.fault_flips_applied(),
+            )
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(4));
+    }
+
+    #[test]
+    fn window_parallel_watchdog_still_trips() {
+        let mut config = MachineConfig::small(2, 1);
+        config.max_cycles = 5_000;
+        config.host_threads = 4;
+        let mut machine = Machine::new(config);
+        let flag = machine.dram_alloc_words(1);
+        let result = Engine::try_run(machine, move |core| {
+            Box::new(move |api| {
+                if core == 0 {
+                    while api.load(flag) == 0 {
+                        api.charge(1, 8);
+                    }
+                }
+            })
+        });
+        assert!(
+            matches!(result, Err(SimError::Watchdog { .. })),
+            "got {result:?}"
+        );
+    }
+
+    #[test]
+    fn window_parallel_core_panic_is_reported() {
+        let mut config = MachineConfig::small(2, 1);
+        config.host_threads = 4;
+        let machine = Machine::new(config);
+        let result = Engine::try_run(machine, |core| {
+            Box::new(move |_api| {
+                if core == 1 {
+                    panic!("boom");
+                }
+            })
+        });
+        match result {
+            Err(SimError::CorePanicked { core, message }) => {
+                assert_eq!(core, 1);
+                assert_eq!(message, "boom");
+            }
+            other => panic!("expected CorePanicked, got {other:?}"),
+        }
     }
 
     #[test]

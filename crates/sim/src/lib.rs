@@ -14,9 +14,14 @@
 //!
 //! Every simulated core gets a dedicated OS thread running its
 //! behaviour closure. The engine owns **all** shared machine state and
-//! wakes exactly one core thread at a time, in global cycle order, so
-//! the simulation is sequential, data-race-free, and bit-deterministic
-//! even though core code is written in a natural blocking style:
+//! applies core requests in global cycle order, so the simulation is
+//! data-race-free and bit-deterministic even though core code is
+//! written in a natural blocking style. With the default
+//! `MachineConfig::host_threads = 1` exactly one core thread runs at a
+//! time (classic sequential DES); higher values enable the
+//! window-parallel engine, which overlaps core-thread compute with
+//! engine event application without changing a single simulated number
+//! (see the [`engine`] module docs):
 //!
 //! ```text
 //! core thread:   let v = api.load(addr);      // blocks
@@ -50,11 +55,13 @@
 //! assert!(report.cycles > 0);
 //! ```
 
+pub mod calendar;
 pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod machine;
 
+pub use calendar::CalendarQueue;
 pub use config::MachineConfig;
 pub use counters::{CoreCounters, MachineCounters};
 pub use engine::{CoreApi, Engine, Report, SimError};

@@ -349,6 +349,21 @@ impl Machine {
         &self.mesh
     }
 
+    /// The machine's conservative lookahead: the minimum latency of
+    /// any cross-component interaction a core can trigger. Once a core
+    /// is woken, nothing it does can affect another component sooner
+    /// than this many cycles later, which is what lets the
+    /// window-parallel engine hand out wakes early and still apply all
+    /// events in canonical order. Also sizes the engine's calendar
+    /// queue days.
+    pub fn lookahead(&self) -> Cycle {
+        self.mesh
+            .hop_latency()
+            .min(self.spms[0].local_latency())
+            .min(self.config.llc.hit_latency)
+            .max(1)
+    }
+
     /// LLC statistics: (hits, misses, writebacks).
     pub fn llc_stats(&self) -> (u64, u64, u64) {
         self.llc.stats()
@@ -525,9 +540,10 @@ impl Machine {
                         p.note_spm_served(owner);
                     }
                     let dst = self.core_nodes[owner];
-                    let req_arrive = self.mesh.traverse(src, dst, cycle, 1);
-                    let serviced = self.spms[owner].service(req_arrive);
-                    let done = self.mesh.traverse(dst, src, serviced, 1);
+                    let (mesh, spms) = (&mut self.mesh, &mut self.spms);
+                    let done = mesh.traverse_roundtrip(src, dst, cycle, 1, |arrive| {
+                        spms[owner].service(arrive)
+                    });
                     if let Some(probe) = &mut self.latency_probe {
                         if kind == AccessKind::Read {
                             probe.record(core, owner, (done - cycle) as f64);
@@ -539,25 +555,25 @@ impl Machine {
             Region::Dram { offset } => {
                 let bank = self.llc.bank_of(offset) as usize;
                 let dst = self.llc_nodes[bank];
-                let req_arrive = self.mesh.traverse(src, dst, cycle, 1);
-                let access = self.llc.access(
-                    offset,
-                    req_arrive,
-                    kind == AccessKind::Write,
-                    &mut self.dram,
-                );
+                let (mesh, llc, dram) = (&mut self.mesh, &mut self.llc, &mut self.dram);
+                let mut hit = false;
+                let done = mesh.traverse_roundtrip(src, dst, cycle, 1, |arrive| {
+                    let access = llc.access(offset, arrive, kind == AccessKind::Write, dram);
+                    hit = access.hit;
+                    access.done
+                });
                 if let Some(p) = &self.profiler {
                     p.note_llc_bank(bank);
                     p.note_class(
                         core,
-                        if access.hit {
+                        if hit {
                             MemClass::LlcHit
                         } else {
                             MemClass::Dram
                         },
                     );
                 }
-                self.mesh.traverse(dst, src, access.done, 1)
+                done
             }
         }
     }
@@ -687,6 +703,15 @@ mod tests {
         let mut m = machine();
         let a = m.dram_alloc_init(&[1, 2, 3]);
         assert_eq!(m.peek_slice(a, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lookahead_is_one_mesh_hop() {
+        // All endpoint latencies exceed the router hop, so the
+        // conservative window quantum is the hop latency.
+        let m = machine();
+        assert_eq!(m.lookahead(), m.mesh().hop_latency());
+        assert!(m.lookahead() >= 1);
     }
 
     #[test]

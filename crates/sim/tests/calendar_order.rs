@@ -1,0 +1,79 @@
+//! Property test pinning the calendar queue's ordering contract: under
+//! random insert/pop interleavings it must pop events in exactly the
+//! order of the engine's previous `BinaryHeap<Reverse<(Cycle, u64,
+//! CoreId)>>` — ascending `(cycle, seq)` with deterministic FIFO
+//! tie-breaking. Goldens being byte-identical across the engine-queue
+//! swap (and across `--host-threads`) rests on this.
+
+use mosaic_sim::calendar::CalendarQueue;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Replay a random schedule against the reference heap. `ops`
+    /// drives the interleaving: each entry pushes a batch of events a
+    /// random distance into the future (including far past the ring
+    /// horizon, to force the overflow path) and then pops a few.
+    #[test]
+    fn pops_match_binary_heap_order(
+        width in 1u64..100,
+        ops in prop::collection::vec(
+            (prop::collection::vec((0u64..10_000, 0usize..8), 0..6), 0usize..8),
+            1..40,
+        ),
+    ) {
+        let mut queue = CalendarQueue::with_width(width);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        // The engine only schedules at or after the last popped cycle;
+        // the queue's contract assumes the same.
+        let mut now = 0u64;
+        for (pushes, pops) in ops {
+            for (ahead, core) in pushes {
+                queue.push(now + ahead, seq, core);
+                heap.push(Reverse((now + ahead, seq, core)));
+                seq += 1;
+            }
+            prop_assert_eq!(queue.len(), heap.len());
+            for _ in 0..pops {
+                let expect = heap.pop().map(|Reverse(e)| e);
+                let got = queue.pop();
+                prop_assert_eq!(got, expect);
+                if let Some((cycle, _, _)) = got {
+                    now = cycle;
+                }
+            }
+        }
+        // Drain: the tails must agree too.
+        while let Some(Reverse(expect)) = heap.pop() {
+            prop_assert_eq!(queue.pop(), Some(expect));
+        }
+        prop_assert!(queue.is_empty());
+    }
+
+    /// `scan` visits exactly the queued events (each once), regardless
+    /// of how pushes were spread across ring and overflow.
+    #[test]
+    fn scan_is_a_complete_traversal(
+        width in 1u64..100,
+        pushes in prop::collection::vec((0u64..50_000, 0usize..8), 0..40),
+    ) {
+        let mut queue = CalendarQueue::with_width(width);
+        let mut expect = Vec::new();
+        for (i, &(cycle, core)) in pushes.iter().enumerate() {
+            queue.push(cycle, i as u64, core);
+            expect.push((cycle, i as u64, core));
+        }
+        let mut seen = Vec::new();
+        queue.scan(|e| {
+            seen.push(e);
+            true
+        });
+        seen.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+}
