@@ -116,6 +116,13 @@ fn via_server(addr: &str, flags: &[String]) {
                 let _ = value("--jobs");
                 eprintln!("note: --jobs is decided by the server in --via-server mode");
             }
+            "--profile" => {
+                eprintln!("note: --profile is local-only; the wire JobSpec carries no profiler");
+            }
+            "--prof-out" => {
+                let _ = value("--prof-out");
+                eprintln!("note: --prof-out is local-only; the wire JobSpec carries no profiler");
+            }
             other => panic!("unknown option {other:?} for --via-server mode"),
         }
     }

@@ -1,10 +1,12 @@
 //! Shape check: does the model reproduce the paper's orderings?
+use mosaic_bench::Options;
 use mosaic_runtime::RuntimeConfig;
-use mosaic_sim::MachineConfig;
 use mosaic_workloads::{fib::Fib, pagerank, uts, Benchmark, Scale};
 
 fn main() {
-    let mcfg = MachineConfig::small(8, 4); // 32 cores
+    let opts = Options::parse(Scale::Small, 8, 4); // 32 cores
+    let mcfg = opts.machine();
+    let scale = opts.scale;
     println!("=== Fib(12), 4 WS variants (paper Fig 7 ordering) ===");
     for (label, cfg) in RuntimeConfig::table1_sweep() {
         if label.starts_with("static") {
@@ -22,8 +24,8 @@ fn main() {
             t.stack_overflows
         );
     }
-    println!("=== UTS-t3 (Small) static vs WS ===");
-    let u = &uts::instances(Scale::Small)[1];
+    println!("=== UTS-t3 ({}) static vs WS ===", opts.scale_name());
+    let u = &uts::instances(scale)[1];
     for (label, cfg) in RuntimeConfig::table1_sweep() {
         let out = u.run(mcfg.clone(), cfg);
         out.assert_verified();
@@ -33,8 +35,11 @@ fn main() {
             out.report.instructions()
         );
     }
-    println!("=== PageRank-email (Small) static vs WS ===");
-    let pr = &pagerank::instances(Scale::Small)[1];
+    println!(
+        "=== PageRank-email ({}) static vs WS ===",
+        opts.scale_name()
+    );
+    let pr = &pagerank::instances(scale)[1];
     for (label, cfg) in RuntimeConfig::table1_sweep() {
         let out = pr.run(mcfg.clone(), cfg);
         out.assert_verified();

@@ -9,6 +9,7 @@ use mosaic_bench::golden::GoldenFile;
 use mosaic_bench::prof;
 use mosaic_chaos::FaultPlan;
 use mosaic_runtime::RuntimeConfig;
+use mosaic_serve::JobSpec;
 use mosaic_sim::MachineConfig;
 use mosaic_workloads::{fib, uts, Benchmark, Scale};
 use proptest::prelude::*;
@@ -57,6 +58,92 @@ proptest! {
         let (golden_par, prof_par) = artifacts(bench.as_ref(), cols, rows, host_threads, None);
         prop_assert_eq!(golden_seq, golden_par);
         prop_assert_eq!(prof_seq, prof_par);
+    }
+}
+
+/// Digest-exemption parity: every `JobSpec` field must either change
+/// the digest when perturbed or be on the same exemption list detlint
+/// checks statically (`detlint.toml` `[[digest]]` JobSpec). Adding a
+/// field without deciding which side it lands on fails here three
+/// ways: the exhaustive destructure below stops compiling, the
+/// wire-form key count stops matching the mutator table, and the
+/// per-field digest assertions catch a field the canonical serializer
+/// silently drops.
+#[test]
+fn jobspec_fields_stay_digest_covered_or_exempt() {
+    // Must mirror the exempt list in detlint.toml — fields that ride
+    // the wire but are byte-identity-irrelevant to results.
+    const EXEMPT: &[&str] = &["host_threads"];
+
+    let base = JobSpec::new("table1", "tiny");
+    // Exhaustive destructure: a new JobSpec field is a compile error
+    // here, forcing an entry in the mutator table below.
+    let JobSpec {
+        experiment: _,
+        workload: _,
+        config: _,
+        scale: _,
+        cols: _,
+        rows: _,
+        seed: _,
+        sanitize: _,
+        faults: _,
+        host_threads: _,
+    } = base.clone();
+
+    type Mutator = fn(&mut JobSpec);
+    let mutators: &[(&str, Mutator)] = &[
+        ("experiment", |s| s.experiment = "fig09_speedup".into()),
+        ("workload", |s| s.workload = "Fib-12".into()),
+        ("config", |s| s.config = "ws/spm-stack/spm-q".into()),
+        ("scale", |s| s.scale = "small".into()),
+        ("cols", |s| s.cols = 9),
+        ("rows", |s| s.rows = 5),
+        ("seed", |s| s.seed = 42),
+        ("sanitize", |s| s.sanitize = true),
+        ("faults", |s| {
+            s.faults = "seed=1,horizon=1000,links=1x10".into()
+        }),
+        ("host_threads", |s| s.host_threads = 8),
+    ];
+
+    // The wire form must carry every field under its own name, and
+    // nothing the table doesn't cover.
+    let json = base.to_json();
+    let obj = json.as_object("spec").expect("spec serializes an object");
+    let keys: Vec<&str> = obj.keys().collect();
+    for (field, _) in mutators {
+        assert!(
+            keys.contains(field),
+            "{field} missing from to_json: {keys:?}"
+        );
+    }
+    assert_eq!(
+        keys.len(),
+        mutators.len(),
+        "to_json carries a field the mutator table does not cover: {keys:?}"
+    );
+
+    for (field, mutate) in mutators {
+        let mut spec = base.clone();
+        mutate(&mut spec);
+        assert_ne!(&spec, &base, "mutator for {field} is a no-op");
+        if EXEMPT.contains(field) {
+            assert_eq!(
+                base.digest(),
+                spec.digest(),
+                "{field} is exempt (results are byte-identical across it) but \
+                 changes the digest — it would fragment the result cache"
+            );
+        } else {
+            assert_ne!(
+                base.digest(),
+                spec.digest(),
+                "{field} does not reach the digest: two different computations \
+                 would share a cache entry — serialize it in canonical_json or \
+                 exempt it (here and in detlint.toml) with a justification"
+            );
+        }
     }
 }
 

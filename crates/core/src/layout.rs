@@ -413,7 +413,7 @@ mod tests {
             ..RuntimeConfig::work_stealing()
         };
         let (l, map) = layout(&cfg);
-        let mut writes = std::collections::HashMap::new();
+        let mut writes = std::collections::BTreeMap::new();
         l.initialize(&map, |a, v| {
             writes.insert(a, v);
         });
@@ -451,7 +451,7 @@ mod tests {
         // (top % (banks * 64)) across cores would mean single-bank
         // aliasing; coloring must spread them.
         let banks = 16u64;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for core in 0..16u32 {
             seen.insert(l.dram_stack_top(core).raw() / 64 % banks);
         }

@@ -98,6 +98,7 @@ impl RunReport {
     /// Machine-wide mean utilization (see [`RunReport::utilization`]).
     pub fn mean_utilization(&self) -> f64 {
         let u = self.utilization();
+        // detlint: allow(D004) -- derived report metric summed in fixed Vec order; not a golden number
         u.iter().sum::<f64>() / u.len().max(1) as f64
     }
 

@@ -13,7 +13,7 @@
 
 use crate::ctx::TaskCtx;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Words in a task record: `[ready_count, parent_rc_addr, result]`.
 pub const REC_WORDS: u32 = 3;
@@ -35,9 +35,12 @@ pub type TaskBody = Box<dyn FnOnce(&mut TaskCtx<'_>) + Send>;
 ///
 /// The engine serializes core execution, so the mutex is never
 /// contended; it exists to make the type `Sync` across core threads.
+/// Keyed by address with only point lookups today, but stored in a
+/// `BTreeMap` so that any future iteration (debug dumps, leak checks)
+/// is deterministic by construction.
 #[derive(Default)]
 pub struct Registry {
-    inner: Mutex<HashMap<u64, TaskBody>>,
+    inner: Mutex<BTreeMap<u64, TaskBody>>,
 }
 
 impl Registry {

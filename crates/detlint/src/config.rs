@@ -1,0 +1,423 @@
+//! `detlint.toml` — the checked-in allowlist and digest-coverage
+//! configuration, parsed by a minimal hand-rolled TOML-subset reader
+//! (pure std, same ethos as `jsonlite`).
+//!
+//! Supported grammar (deliberately small — the config is data, not a
+//! programming language):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "D001"
+//! path = "crates/mem/src/dram.rs"
+//! reason = "keyed access only; never iterated"
+//!
+//! [[digest]]
+//! struct = "JobSpec"
+//! file = "crates/serve/src/job.rs"
+//! serializer = "canonical_json"
+//! serializer_file = "crates/serve/src/job.rs"
+//! exempt = ["host_threads -- byte-identical at every value"]
+//! map = ["flips=flip"]
+//! ```
+//!
+//! `#` comments, blank lines, double-quoted strings, and (possibly
+//! multi-line) arrays of strings. Anything else is a hard error:
+//! a config the linter cannot fully understand must not silently
+//! weaken the gate.
+
+use std::path::Path;
+
+/// One `[[allow]]` entry: suppress every finding of `rule` in `path`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule code, e.g. `D001`.
+    pub rule: String,
+    /// Workspace-relative file path (forward slashes).
+    pub path: String,
+    /// Written justification; must be non-empty.
+    pub reason: String,
+}
+
+/// One `[[digest]]` entry: a struct whose every field must be covered
+/// by the named canonical serializer or explicitly exempted.
+#[derive(Debug, Clone)]
+pub struct DigestEntry {
+    /// Struct name, e.g. `JobSpec`.
+    pub struct_name: String,
+    /// Workspace-relative file declaring the struct.
+    pub file: String,
+    /// Function whose string literals constitute digest coverage.
+    pub serializer: String,
+    /// Workspace-relative file containing the serializer.
+    pub serializer_file: String,
+    /// Exempt fields, each spelled `name -- reason`; the reason is
+    /// mandatory (an exemption is a claim someone must be able to
+    /// audit).
+    pub exempt: Vec<(String, String)>,
+    /// Field-to-token aliases `field=token` for serializers whose
+    /// spelling differs from the field name (e.g. `flips=flip`).
+    pub map: Vec<(String, String)>,
+}
+
+/// Parsed `detlint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path-level allowlist.
+    pub allows: Vec<AllowEntry>,
+    /// Digest-coverage specs.
+    pub digests: Vec<DigestEntry>,
+}
+
+/// A raw key/value table collected by the reader.
+#[derive(Debug, Default)]
+struct Table {
+    name: String,
+    line: u32,
+    entries: Vec<(String, Value)>,
+}
+
+#[derive(Debug)]
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+impl Table {
+    fn str_field(&self, key: &str, path: &Path) -> Result<String, String> {
+        for (k, v) in &self.entries {
+            if k == key {
+                return match v {
+                    Value::Str(s) => Ok(s.clone()),
+                    Value::Array(_) => Err(format!(
+                        "{}:{}: key `{key}` must be a string",
+                        path.display(),
+                        self.line
+                    )),
+                };
+            }
+        }
+        Err(format!(
+            "{}:{}: [[{}]] entry is missing required key `{key}`",
+            path.display(),
+            self.line,
+            self.name
+        ))
+    }
+
+    fn array_field(&self, key: &str, path: &Path) -> Result<Vec<String>, String> {
+        for (k, v) in &self.entries {
+            if k == key {
+                return match v {
+                    Value::Array(a) => Ok(a.clone()),
+                    Value::Str(_) => Err(format!(
+                        "{}:{}: key `{key}` must be an array",
+                        path.display(),
+                        self.line
+                    )),
+                };
+            }
+        }
+        Ok(Vec::new())
+    }
+}
+
+impl Config {
+    /// Parse the config at `path`. A missing file is an empty config
+    /// (a workspace with no allowances is legal); a malformed file is
+    /// an error.
+    pub fn load(path: &Path) -> Result<Config, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Config::default()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        Config::parse(&text, path)
+    }
+
+    /// Parse config `text` (path is for error messages only).
+    pub fn parse(text: &str, path: &Path) -> Result<Config, String> {
+        let tables = read_tables(text, path)?;
+        let mut cfg = Config::default();
+        for t in &tables {
+            match t.name.as_str() {
+                "allow" => {
+                    let entry = AllowEntry {
+                        rule: t.str_field("rule", path)?,
+                        path: t.str_field("path", path)?,
+                        reason: t.str_field("reason", path)?,
+                    };
+                    if entry.reason.trim().is_empty() {
+                        return Err(format!(
+                            "{}:{}: [[allow]] for {} needs a non-empty reason",
+                            path.display(),
+                            t.line,
+                            entry.path
+                        ));
+                    }
+                    if !entry.rule.starts_with('D') || entry.rule.len() != 4 {
+                        return Err(format!(
+                            "{}:{}: rule {:?} is not a D0xx code",
+                            path.display(),
+                            t.line,
+                            entry.rule
+                        ));
+                    }
+                    cfg.allows.push(entry);
+                }
+                "digest" => {
+                    let exempt = split_reasoned(t.array_field("exempt", path)?, path, t.line)?;
+                    let map = t
+                        .array_field("map", path)?
+                        .iter()
+                        .map(|m| match m.split_once('=') {
+                            Some((f, a)) => Ok((f.trim().to_string(), a.trim().to_string())),
+                            None => Err(format!(
+                                "{}:{}: map entry {m:?} must be `field=token`",
+                                path.display(),
+                                t.line
+                            )),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    cfg.digests.push(DigestEntry {
+                        struct_name: t.str_field("struct", path)?,
+                        file: t.str_field("file", path)?,
+                        serializer: t.str_field("serializer", path)?,
+                        serializer_file: t.str_field("serializer_file", path)?,
+                        exempt,
+                        map,
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "{}:{}: unknown table [[{other}]] (expected allow or digest)",
+                        path.display(),
+                        t.line
+                    ));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Split `name -- reason` exemption strings, requiring the reason.
+fn split_reasoned(
+    raw: Vec<String>,
+    path: &Path,
+    line: u32,
+) -> Result<Vec<(String, String)>, String> {
+    raw.iter()
+        .map(|e| match e.split_once("--") {
+            Some((name, reason)) if !reason.trim().is_empty() => {
+                Ok((name.trim().to_string(), reason.trim().to_string()))
+            }
+            _ => Err(format!(
+                "{}:{line}: exemption {e:?} must be `field -- reason` (the reason is mandatory)",
+                path.display()
+            )),
+        })
+        .collect()
+}
+
+/// Read the table stream. Top-level keys outside a table are errors.
+fn read_tables(text: &str, path: &Path) -> Result<Vec<Table>, String> {
+    let mut tables: Vec<Table> = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            tables.push(Table {
+                name: name.trim().to_string(),
+                line: lineno,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, mut value)) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        else {
+            return Err(format!(
+                "{}:{lineno}: expected `key = value` or `[[table]]`, got {line:?}",
+                path.display()
+            ));
+        };
+        let Some(table) = tables.last_mut() else {
+            return Err(format!(
+                "{}:{lineno}: key `{key}` outside any [[table]]",
+                path.display()
+            ));
+        };
+        // Multi-line arrays: keep consuming until the closing bracket.
+        if value.starts_with('[') && !balanced_array(&value) {
+            for (_, cont) in lines.by_ref() {
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+                if balanced_array(&value) {
+                    break;
+                }
+            }
+        }
+        let parsed = parse_value(&value)
+            .map_err(|e| format!("{}:{lineno}: bad value for `{key}`: {e}", path.display()))?;
+        table.entries.push((key, parsed));
+    }
+    Ok(tables)
+}
+
+/// Strip a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// True when every `[` in a (partial) array literal has its `]`.
+fn balanced_array(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth == 0
+}
+
+fn parse_value(value: &str) -> Result<Value, String> {
+    let v = value.trim();
+    if let Some(inner) = v.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if rest.starts_with(',') {
+                rest = rest[1..].trim_start();
+                continue;
+            }
+            let (s, consumed) = parse_string(rest)?;
+            items.push(s);
+            rest = rest[consumed..].trim_start();
+        }
+        return Ok(Value::Array(items));
+    }
+    let (s, consumed) = parse_string(v)?;
+    if !v[consumed..].trim().is_empty() {
+        return Err(format!("trailing garbage after string in {v:?}"));
+    }
+    Ok(Value::Str(s))
+}
+
+/// Parse one double-quoted string at the start of `s`; returns the
+/// unescaped contents and the byte length consumed.
+fn parse_string(s: &str) -> Result<(String, usize), String> {
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(format!("expected a double-quoted string at {s:?}")),
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                '"' => '"',
+                '\\' => '\\',
+                other => other,
+            });
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return Ok((out, i + 1)),
+            _ => out.push(c),
+        }
+    }
+    Err(format!("unterminated string in {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn p() -> PathBuf {
+        PathBuf::from("detlint.toml")
+    }
+
+    #[test]
+    fn parses_allow_and_digest_tables() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "D001"
+path = "crates/mem/src/dram.rs"  # trailing comment
+reason = "keyed access only"
+
+[[digest]]
+struct = "JobSpec"
+file = "crates/serve/src/job.rs"
+serializer = "canonical_json"
+serializer_file = "crates/serve/src/job.rs"
+exempt = [
+    "host_threads -- byte-identical at every value",
+]
+map = ["flips=flip"]
+"#;
+        let cfg = Config::parse(text, &p()).unwrap();
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].rule, "D001");
+        assert_eq!(cfg.digests.len(), 1);
+        assert_eq!(cfg.digests[0].exempt[0].0, "host_threads");
+        assert_eq!(cfg.digests[0].map[0], ("flips".into(), "flip".into()));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let text = "[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\nreason = \"  \"\n";
+        assert!(Config::parse(text, &p()).is_err());
+        let text = "[[digest]]\nstruct = \"S\"\nfile = \"f\"\nserializer = \"s\"\nserializer_file = \"f\"\nexempt = [\"field\"]\n";
+        assert!(Config::parse(text, &p()).is_err());
+    }
+
+    #[test]
+    fn unknown_tables_and_stray_keys_are_errors() {
+        assert!(Config::parse("[[typo]]\nrule = \"D001\"\n", &p()).is_err());
+        assert!(Config::parse("rule = \"D001\"\n", &p()).is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let text = "[[allow]]\nrule = \"D001\"\npath = \"a#b.rs\"\nreason = \"uses # in path\"\n";
+        let cfg = Config::parse(text, &p()).unwrap();
+        assert_eq!(cfg.allows[0].path, "a#b.rs");
+    }
+}

@@ -1,0 +1,338 @@
+#![deny(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+//! mosaic-detlint — the workspace determinism-and-invariant linter.
+//!
+//! The repo's verification story (golden gating, the byte-identical
+//! window-parallel engine, zero-cost sanitizer/profiler/chaos) rests
+//! on invariants that used to be enforced only by convention. This
+//! crate makes them *static*: a dependency-free pass over the
+//! workspace's Rust sources with a hand-rolled lexer
+//! ([`lexer`]), a rule catalog ([`rules::RULES`], codes `D001`…),
+//! span-accurate diagnostics, and two escape hatches that both carry
+//! mandatory written justifications:
+//!
+//! * an in-source directive on (or directly above) the offending
+//!   line — spelled `detlint: allow(D00x) -- reason` after a `//`
+//!   comment marker;
+//! * a checked-in [`config::Config`] (`detlint.toml`) with path-level
+//!   allows and the digest-coverage specs.
+//!
+//! `detlint --workspace` exits nonzero on any non-allowlisted finding;
+//! `--self-check` additionally fails on allowances that no longer
+//! match anything, so the lists cannot rot. The dynamic checkers in
+//! `crates/san` catch what a given run executes; this pass catches the
+//! whole class before anything runs.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::{classify, FileClass, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// A parsed in-source `detlint: allow(D00x) -- reason` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// The rule code it suppresses.
+    pub rule: String,
+    /// 1-based line of the directive comment (its last line, for
+    /// block comments). The directive covers findings on this line
+    /// (trailing form) and the next line (standalone form).
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// Whether the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Findings that survived in-source directives (config allows are
+    /// applied by the workspace driver).
+    pub findings: Vec<Finding>,
+    /// All well-formed directives, with usage marked.
+    pub directives: Vec<Directive>,
+}
+
+/// Parse in-source directives out of the comment stream; malformed
+/// ones (recognized prefix but unparseable) become D010 findings.
+fn parse_directives(path: &str, comments: &[lexer::Comment]) -> (Vec<Directive>, Vec<Finding>) {
+    let mut directives = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("detlint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .and_then(|(code, tail)| {
+                let code = code.trim();
+                let reason_ok = tail
+                    .trim_start()
+                    .strip_prefix("--")
+                    .is_some_and(|r| !r.trim().is_empty());
+                let code_ok =
+                    code.len() == 4 && code.starts_with('D') && rules::rule_info(code).is_some();
+                (code_ok && reason_ok).then(|| code.to_string())
+            });
+        match parsed {
+            Some(rule) => directives.push(Directive {
+                rule,
+                line: c.end_line,
+                col: c.col,
+                used: false,
+            }),
+            None => findings.push(Finding {
+                rule: "D010",
+                path: path.to_string(),
+                line: c.line,
+                col: c.col,
+                message: "malformed detlint directive: expected \
+                          `detlint: allow(D0xx) -- reason` with a known rule code \
+                          and a non-empty reason"
+                    .to_string(),
+            }),
+        }
+    }
+    (directives, findings)
+}
+
+/// Scan one file's source under the given [`FileClass`], applying
+/// in-source directives (but not the workspace config). `path` is the
+/// label used in diagnostics.
+pub fn scan_file(path: &str, source: &str, class: &FileClass) -> FileScan {
+    let lexed = lexer::lex(source);
+    let raw = rules::per_file_rules(path, &lexed, class);
+    let (mut directives, malformed) = parse_directives(path, &lexed.comments);
+    let mut findings = Vec::new();
+    for f in raw {
+        let suppressed = directives
+            .iter_mut()
+            .find(|d| d.rule == f.rule && (d.line == f.line || d.line + 1 == f.line));
+        match suppressed {
+            Some(d) => d.used = true,
+            None => findings.push(f),
+        }
+    }
+    findings.extend(malformed);
+    FileScan {
+        findings,
+        directives,
+    }
+}
+
+/// Everything a workspace scan produced, before exit-code policy.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings, sorted by `(path, line, col, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Count of findings suppressed by in-source directives and config
+    /// allows (for the summary line).
+    pub suppressed: usize,
+}
+
+/// Walk the workspace at `root` and run every rule. `self_check`
+/// additionally reports allowances that no longer suppress anything
+/// (rule D010) so the lists cannot rot.
+pub fn scan_workspace(root: &Path, cfg: &Config, self_check: bool) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for dir in ["crates", "xtests", "examples", "tests"] {
+        collect_rs_files(&root.join(dir), root, &mut files)?;
+    }
+    files.sort();
+    scan_files(root, &files, cfg, self_check)
+}
+
+/// Scan an explicit list of workspace-relative `.rs` paths.
+pub fn scan_files(
+    root: &Path,
+    rel_paths: &[String],
+    cfg: &Config,
+    self_check: bool,
+) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut config_used = vec![false; cfg.allows.len()];
+    for rel in rel_paths {
+        let class = classify(rel);
+        let source = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+        let scan = scan_file(rel, &source, &class);
+        report.files += 1;
+        report.suppressed += scan.directives.iter().filter(|d| d.used).count();
+        for f in scan.findings {
+            let allowed = cfg
+                .allows
+                .iter()
+                .position(|a| a.rule == f.rule && a.path == *rel);
+            match allowed {
+                Some(i) => {
+                    config_used[i] = true;
+                    report.suppressed += 1;
+                }
+                None => report.findings.push(f),
+            }
+        }
+        if self_check {
+            for d in scan.directives.iter().filter(|d| !d.used) {
+                report.findings.push(Finding {
+                    rule: "D010",
+                    path: rel.clone(),
+                    line: d.line,
+                    col: d.col,
+                    message: format!(
+                        "unused directive: nothing on this or the next line triggers \
+                         {} any more — remove the allow",
+                        d.rule
+                    ),
+                });
+            }
+        }
+    }
+    // D005 digest coverage — cross-file, driven by the config.
+    for entry in &cfg.digests {
+        let struct_src = std::fs::read_to_string(root.join(&entry.file))
+            .map_err(|e| format!("{}: {e}", entry.file))?;
+        let struct_lexed = lexer::lex(&struct_src);
+        let ser_lexed = if entry.serializer_file == entry.file {
+            None
+        } else {
+            let s = std::fs::read_to_string(root.join(&entry.serializer_file))
+                .map_err(|e| format!("{}: {e}", entry.serializer_file))?;
+            Some(lexer::lex(&s))
+        };
+        report.findings.extend(rules::digest_rule(
+            entry,
+            &struct_lexed,
+            ser_lexed.as_ref().unwrap_or(&struct_lexed),
+        ));
+    }
+    if self_check {
+        for (i, a) in cfg.allows.iter().enumerate() {
+            if !root.join(&a.path).is_file() {
+                report.findings.push(Finding {
+                    rule: "D010",
+                    path: "detlint.toml".to_string(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "allowlist entry ({} in {}) points at a file that does not \
+                         exist — remove or fix the entry",
+                        a.rule, a.path
+                    ),
+                });
+            } else if !config_used[i] && rel_paths.iter().any(|p| p == &a.path) {
+                report.findings.push(Finding {
+                    rule: "D010",
+                    path: "detlint.toml".to_string(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "allowlist entry ({} in {}) suppressed nothing this scan — \
+                         the finding it covered is gone; remove the entry",
+                        a.rule, a.path
+                    ),
+                });
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collect workspace-relative `.rs` paths under `dir`,
+/// skipping build output, vendored stand-ins, and detlint's own lint
+/// fixtures (which violate rules on purpose).
+fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            let rel = rel_path(&path, root);
+            if rel.starts_with("crates/detlint/tests/fixtures") {
+                continue;
+            }
+            collect_rs_files(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_path(&path, root));
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn rel_path(path: &Path, root: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden_class() -> FileClass {
+        classify("crates/sim/src/fake.rs")
+    }
+
+    #[test]
+    fn inline_directive_suppresses_same_and_next_line() {
+        let trailing = "use std::collections::HashMap; // detlint: allow(D001) -- keyed only\n";
+        let scan = scan_file("crates/sim/src/x.rs", trailing, &golden_class());
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+        assert!(scan.directives[0].used);
+
+        let standalone = "// detlint: allow(D001) -- keyed only\nuse std::collections::HashMap;\n";
+        let scan = scan_file("crates/sim/src/x.rs", standalone, &golden_class());
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+
+        let far = "// detlint: allow(D001) -- keyed only\n\nuse std::collections::HashMap;\n";
+        let scan = scan_file("crates/sim/src/x.rs", far, &golden_class());
+        assert_eq!(
+            scan.findings.len(),
+            1,
+            "directive must not act at a distance"
+        );
+        assert!(!scan.directives[0].used);
+    }
+
+    #[test]
+    fn malformed_directives_are_their_own_finding() {
+        for bad in [
+            "// detlint: allow(D001)\n",            // no reason
+            "// detlint: allow(D999) -- reason\n",  // unknown rule
+            "// detlint: permit(D001) -- reason\n", // wrong verb
+        ] {
+            let scan = scan_file("crates/sim/src/x.rs", bad, &golden_class());
+            assert_eq!(scan.findings.len(), 1, "{bad:?}");
+            assert_eq!(scan.findings[0].rule, "D010", "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn directive_for_a_different_rule_does_not_suppress() {
+        let src = "use std::collections::HashMap; // detlint: allow(D002) -- wrong code\n";
+        let scan = scan_file("crates/sim/src/x.rs", src, &golden_class());
+        assert_eq!(scan.findings.len(), 1);
+        assert_eq!(scan.findings[0].rule, "D001");
+    }
+}

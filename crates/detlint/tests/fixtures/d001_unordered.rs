@@ -1,0 +1,10 @@
+//! D001 fixture: unordered containers in a golden-affecting crate.
+use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+fn build() -> BTreeMap<u32, u32> {
+    let mut ordered = BTreeMap::new();
+    ordered.insert(1, 2);
+    let _rogue: HashMap<u32, u32> = HashMap::new();
+    ordered
+}

@@ -1,0 +1,8 @@
+//! D002 fixture: wall-clock types. A finding in a golden-affecting
+//! crate, clean when the same source is classified host-side.
+use std::time::Instant;
+
+fn elapsed_ms() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,21 @@
+//! D003 fixture: ambient host state in a golden-affecting crate.
+
+fn configured() -> bool {
+    std::env::var("MOSAIC_DEBUG").is_ok()
+}
+
+fn who() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+mod clean {
+    // A user-defined `env` module is not the host environment.
+    mod env {
+        pub fn lookup(_k: &str) -> u32 {
+            0
+        }
+    }
+    pub fn ok() -> u32 {
+        env::lookup("x")
+    }
+}

@@ -1,0 +1,17 @@
+//! D004 fixture: float accumulation in a golden-affecting crate.
+
+fn bad(xs: &[f64]) -> f64 {
+    let mut acc: f64 = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc + xs.iter().sum::<f64>()
+}
+
+fn clean(xs: &[u64]) -> u64 {
+    let mut total: u64 = 0;
+    for x in xs {
+        total += x;
+    }
+    total + xs.iter().sum::<u64>()
+}

@@ -1,0 +1,13 @@
+//! D005 fixture: a digest-tracked struct and its canonical serializer.
+
+pub struct Spec {
+    pub seed: u64,
+    pub flips: u32,
+    pub host_threads: usize,
+}
+
+impl Spec {
+    pub fn canonical(&self) -> String {
+        format!("seed={},flip={}", self.seed, self.flips)
+    }
+}

@@ -1,0 +1,35 @@
+//! D006 fixture: sync sites with and without invariant comments.
+
+struct Core {
+    api: Api,
+}
+struct Api;
+impl Api {
+    fn fence(&mut self) {}
+    fn amo_release(&mut self, _v: u32) {}
+}
+
+impl Core {
+    fn bad(&mut self) {
+        self.api.fence();
+    }
+
+    fn good(&mut self) {
+        // Invariant: all prior stores drain before the counter
+        // decrement becomes visible to the parent.
+        self.api.amo_release(1);
+    }
+
+    fn fence(&mut self) {
+        self.api.fence(); // delegation: invariant lives at call sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exercised_not_decided() {
+        let mut c = super::Core { api: super::Api };
+        c.api.fence();
+    }
+}

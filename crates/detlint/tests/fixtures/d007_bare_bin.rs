@@ -1,0 +1,11 @@
+//! D007 fixture: a harness binary with ad-hoc flag handling that
+//! misses most of the standard set.
+
+fn main() {
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--check-golden" => {}
+            other => panic!("unknown option {other:?}"),
+        }
+    }
+}

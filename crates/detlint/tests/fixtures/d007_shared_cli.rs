@@ -1,0 +1,6 @@
+//! D007 fixture (clean): constructs the shared Options CLI.
+
+fn main() {
+    let opts = Options::parse();
+    run(opts);
+}

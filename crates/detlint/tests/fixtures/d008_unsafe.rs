@@ -1,0 +1,10 @@
+//! D008 fixture: unsafe blocks, documented and not.
+
+fn bad(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+fn good(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+//! D009 fixture: allow attributes with and without reasons.
+
+#[allow(dead_code)]
+fn bad() {}
+
+#[allow(dead_code)] // fixture scaffolding, never called
+fn good() {}

@@ -201,6 +201,12 @@ impl ObjectView<'_> {
     pub fn opt(&self, name: &str) -> Option<&Json> {
         self.0.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
+
+    /// Field names in serialization order (objects keep insertion
+    /// order; no sorting, no dedup).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.0.iter().map(|(k, _)| k.as_str())
+    }
 }
 
 /// Quote and escape `s` as a JSON string literal (the one escaping

@@ -2,7 +2,7 @@
 
 use mosaic_mem::{AddrMap, AmoOp, DramConfig, DramModel, Llc, LlcConfig, Scratchpad};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 proptest! {
     /// The LLC is a performance structure only: any access sequence
@@ -13,7 +13,7 @@ proptest! {
     ) {
         let mut llc = Llc::new(LlcConfig { banks: 2, sets: 2, ways: 2, line_bytes: 64, hit_latency: 4 });
         let mut dram = DramModel::default();
-        let mut shadow: HashMap<u64, u32> = HashMap::new();
+        let mut shadow: BTreeMap<u64, u32> = BTreeMap::new();
         let mut t = 0;
         for (slot, val, write) in ops {
             let offset = slot * 4;
@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn spm_memory_semantics(writes in prop::collection::vec((0u32..256, any::<u32>()), 1..64)) {
         let mut s = Scratchpad::new(1024);
-        let mut shadow = HashMap::new();
+        let mut shadow = BTreeMap::new();
         for (w, v) in &writes {
             s.poke(w * 4, *v);
             shadow.insert(*w, *v);

@@ -84,6 +84,7 @@ impl TrafficMatrix {
     /// `src` to `dst`.
     pub fn record(&mut self, src: usize, dst: usize, value: f64) {
         let i = src * self.cores + dst;
+        // detlint: allow(D004) -- samples arrive in canonical engine order, one accumulation stream per (src,dst) cell
         self.sum[i] += value;
         self.count[i] += 1;
     }

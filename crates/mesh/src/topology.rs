@@ -14,7 +14,7 @@
 //! wire-maximal behaviour described by Jung et al. (NOCS '20).
 
 use crate::{LinkId, Route};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A node's position on the physical grid, including LLC rows.
@@ -94,7 +94,7 @@ impl MeshConfig {
         let n = cols as usize * grid_rows as usize;
 
         let mut links = Vec::new();
-        let mut link_of: HashMap<(u32, u32), LinkId> = HashMap::new();
+        let mut link_of: BTreeMap<(u32, u32), LinkId> = BTreeMap::new();
         let mut add_link = |from: u32, to: u32, links: &mut Vec<(NodeId, NodeId)>| {
             let id = LinkId(links.len() as u32);
             links.push((NodeId(from), NodeId(to)));

@@ -212,7 +212,7 @@ mod tests {
         }
         assert_eq!(Bucket::Compute.name(), "compute");
         assert_eq!(Bucket::Idle.name(), "idle");
-        let names: std::collections::HashSet<_> = Bucket::ALL.iter().map(|b| b.name()).collect();
+        let names: std::collections::BTreeSet<_> = Bucket::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), BUCKET_COUNT, "names must be distinct");
     }
 

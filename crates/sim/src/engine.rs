@@ -325,6 +325,9 @@ impl CoreApi {
     /// first so prior writes are globally visible (paper §3.2:
     /// `amo_sub_lr`).
     pub fn amo_release(&mut self, addr: Addr, op: AmoOp, operand: u32) -> u32 {
+        // Invariant: the store queue must drain *before* the AMO value
+        // lands — a parent observing ready_count == 0 must also observe
+        // every result word the child stored (release ordering).
         self.fence();
         self.amo(addr, op, operand)
     }

@@ -24,7 +24,7 @@ pub struct MatTrans {
     pub seed: u64,
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // tile coordinates ride the recursion explicitly
 fn transpose_rec(
     ctx: &mut TaskCtx<'_>,
     src: Addr,

@@ -173,6 +173,7 @@ impl Benchmark for PageRank {
                         let mut acc = 0.0f32;
                         for k in s..e {
                             let u = ctx.load(dt.col.offset_words(k as u64));
+                            // detlint: allow(D004) -- per-vertex edge loop in fixed CSR index order; identical on every host
                             acc += ctx.loadf(dcontrib.offset_words(u as u64));
                             ctx.compute(2, 2);
                         }
