@@ -16,7 +16,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: mosaic-client [--addr HOST:PORT] COMMAND\n\
          commands:\n  \
-         submit EXPERIMENT [--scale tiny|small|full] [--cols N --rows N] [--sanitize] [--faults SPEC] [--wait] [--watch]\n  \
+         submit EXPERIMENT [--scale tiny|small|full] [--cols N --rows N] [--sanitize] [--faults SPEC]\n                   \
+         [--fidelity cycle|analytic|auto] [--wait] [--watch]\n  \
          status ID\n  \
          result ID\n  \
          watch ID\n  \
@@ -78,6 +79,7 @@ fn main() {
                     }
                     "--sanitize" => spec.sanitize = true,
                     "--faults" => spec.faults = it.next().unwrap_or_else(|| usage()),
+                    "--fidelity" => spec.fidelity = it.next().unwrap_or_else(|| usage()),
                     "--wait" => wait = true,
                     "--watch" => watch = true,
                     _ => usage(),
@@ -152,6 +154,19 @@ fn main() {
         }
         "metrics" => {
             let v = client.metrics().unwrap_or_else(|e| fail(e));
+            // Human summary of the fast-mode split on stderr; the full
+            // snapshot (including latency_by_fidelity percentiles)
+            // stays on stdout for pipelines.
+            if let Ok(obj) = v.as_object("metrics") {
+                let count = |name: &str| -> u64 {
+                    obj.opt(name).and_then(|f| f.as_u64().ok()).unwrap_or(0)
+                };
+                eprintln!(
+                    "fast mode: {} analytic, {} escalated to cycle",
+                    count("fast_jobs"),
+                    count("escalations")
+                );
+            }
             println!("{}", v.write());
         }
         "shutdown" => {

@@ -84,6 +84,7 @@ fn via_server(addr: &str, flags: &[String]) {
     let mut rows: u16 = 0;
     let mut sanitize = false;
     let mut faults = String::new();
+    let mut fidelity = String::new();
     let mut host_threads: usize = 1;
     let mut check = false;
     let mut write = false;
@@ -104,6 +105,7 @@ fn via_server(addr: &str, flags: &[String]) {
             }
             "--sanitize" => sanitize = true,
             "--faults" => faults = value("--faults"),
+            "--fidelity" => fidelity = value("--fidelity"),
             "--host-threads" => {
                 host_threads = value("--host-threads")
                     .parse::<usize>()
@@ -126,6 +128,17 @@ fn via_server(addr: &str, flags: &[String]) {
             other => panic!("unknown option {other:?} for --via-server mode"),
         }
     }
+    if !matches!(fidelity.as_str(), "" | "cycle") && (check || write) {
+        // Same rule the harnesses enforce locally: committed goldens
+        // are cycle-accurate truth; approximate payloads must not be
+        // blessed or diffed against them.
+        eprintln!(
+            "refusing --{}-golden with --fidelity {fidelity}: committed goldens are \
+             cycle-accurate only",
+            if write { "write" } else { "check" }
+        );
+        std::process::exit(1);
+    }
 
     // Retry the connect: a freshly launched daemon may still be
     // binding its listener when the reproduction script reaches us.
@@ -145,7 +158,11 @@ fn via_server(addr: &str, flags: &[String]) {
         spec.rows = rows;
         spec.sanitize = sanitize;
         spec.faults = faults.clone();
+        spec.fidelity = fidelity.clone();
         spec.host_threads = host_threads;
+        // An `auto` submission to a daemon without a calibration table
+        // comes back as an `error` response — collected as a per-
+        // experiment failure below, like any other rejection.
         match client.submit(&spec) {
             Ok(SubmitReply::Accepted { id, state, cached }) => {
                 eprintln!(

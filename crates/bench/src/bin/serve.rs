@@ -15,8 +15,10 @@
 //! Drains gracefully on a `shutdown` request: new submissions are
 //! rejected, queued and running jobs complete, then the process exits.
 
+use mosaic_bench::cli::CALIBRATION_PATH;
 use mosaic_bench::service::BinExecutor;
 use mosaic_chaos::HostFaultPlan;
+use mosaic_model::CalibrationTable;
 use mosaic_serve::{Executor, FaultyExecutor, SchedConfig, Server, ServerConfig};
 use mosaic_sim::MachineConfig;
 use std::path::PathBuf;
@@ -29,6 +31,8 @@ fn main() {
     let mut child_jobs: Option<usize> = None;
     let mut host_threads: usize = 1;
     let mut chaos_host = HostFaultPlan::default();
+    let mut calibration: Option<PathBuf> = None;
+    let mut escalate_bound_ppm: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -82,6 +86,14 @@ fn main() {
                 chaos_host = HostFaultPlan::parse(&spec)
                     .unwrap_or_else(|e| panic!("bad --chaos-host spec {spec:?}: {e}"));
             }
+            "--calibration" => calibration = Some(PathBuf::from(value("--calibration"))),
+            "--escalate-bound-ppm" => {
+                escalate_bound_ppm = Some(
+                    value("--escalate-bound-ppm")
+                        .parse()
+                        .expect("--escalate-bound-ppm must be an integer"),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "mosaic serve daemon\n\
@@ -96,7 +108,12 @@ fn main() {
                      --no-cache-dir         memory-only cache\n         \
                      --retries N            attempts per job incl. the first (default 1 = no retry)\n         \
                      --chaos-host SPEC      inject host faults, e.g. panics=2,slow=100 (testing the\n                                \
-                     isolation/retry machinery; see mosaic-chaos)"
+                     isolation/retry machinery; see mosaic-chaos)\n         \
+                     --calibration PATH     calibration table backing auto-fidelity submissions\n                                \
+                     (default results/model/calibration.json when present;\n                                \
+                     without a table, auto submissions are rejected)\n         \
+                     --escalate-bound-ppm N widest calibrated error band still answered\n                                \
+                     analytically (default: the table's own bound)"
                 );
                 std::process::exit(0);
             }
@@ -123,8 +140,37 @@ fn main() {
         ..cfg.sched
     };
 
-    let executor =
+    // Load the calibration table backing `auto` fidelity: an explicit
+    // --calibration PATH must parse; the default path is best-effort
+    // (a daemon in a checkout that never ran `calibrate` still serves
+    // cycle-accurate jobs — it just rejects `auto`).
+    let table_path = calibration
+        .clone()
+        .or_else(|| Some(PathBuf::from(CALIBRATION_PATH)).filter(|p| p.exists()));
+    if let Some(path) = &table_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read --calibration {}: {e}", path.display()));
+        let table = CalibrationTable::parse(&text)
+            .unwrap_or_else(|e| panic!("parse --calibration {}: {e}", path.display()));
+        cfg.sched.escalate_bound_ppm = escalate_bound_ppm.unwrap_or(table.bound_ppm);
+        eprintln!(
+            "serve: calibration loaded from {} ({} families, escalation bound {}ppm)",
+            path.display(),
+            table.families.len(),
+            cfg.sched.escalate_bound_ppm
+        );
+        cfg.sched.calibration = Some(Arc::new(table));
+    } else {
+        eprintln!("serve: no calibration table; auto-fidelity submissions will be rejected");
+    }
+
+    let mut executor =
         BinExecutor::beside_current_exe(child_jobs, host_threads).expect("locate harness binaries");
+    // Analytic children must read the exact table the escalation
+    // decisions came from, wherever the daemon was started — forward
+    // it absolutized rather than letting each child re-resolve the
+    // committed default against its own working directory.
+    executor.calibration = table_path.map(|p| std::fs::canonicalize(&p).unwrap_or(p));
     eprintln!(
         "serve: {} workers x {} child jobs x {} engine threads ({} host threads/sim, {} host cores), queue cap {}, timeout {:?}, {} attempts/job",
         workers, child_jobs, host_threads, threads_per_sim, host, cfg.sched.queue_cap,

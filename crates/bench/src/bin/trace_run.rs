@@ -16,6 +16,7 @@ use mosaic_workloads::{uts, Scale};
 
 fn main() {
     let opts = Options::parse(Scale::Tiny, 8, 4);
+    opts.cycle_only("trace_run");
     let bench = &uts::instances(opts.scale)[1]; // UTS-t3: the showcase
     let cfg = RuntimeConfig {
         trace: true,

@@ -4,8 +4,14 @@
 
 use crate::golden::{self, GoldenFile};
 use mosaic_chaos::FaultPlan;
-use mosaic_sim::MachineConfig;
+use mosaic_model::CalibrationTable;
+use mosaic_sim::{AnalyticBackend, AutoBackend, Backend, CycleBackend, Fidelity, MachineConfig};
 use mosaic_workloads::Scale;
+
+/// Where the committed calibration artifact lives (written by the
+/// `calibrate` harness, consumed by `--fidelity analytic|auto` and the
+/// serve daemon).
+pub const CALIBRATION_PATH: &str = "results/model/calibration.json";
 
 /// What to do with golden (committed reference) numbers this run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +68,16 @@ pub struct Options {
     /// Directory to write per-run profile JSON into (`--prof-out DIR`);
     /// implies `--profile`. `None` = don't write profile files.
     pub prof_out: Option<std::path::PathBuf>,
+    /// Which backend answers runs (`--fidelity cycle|analytic|auto`):
+    /// the cycle-accurate engine (default), the calibrated analytic
+    /// model, or per-family escalation. Only the sweep experiments
+    /// (`table1`, `fig09_speedup`) support non-cycle fidelities; the
+    /// rest call [`Options::cycle_only`] and refuse.
+    pub fidelity: Fidelity,
+    /// Calibration table for the analytic backend
+    /// (`--calibration PATH`); `None` = the committed
+    /// [`CALIBRATION_PATH`].
+    pub calibration: Option<std::path::PathBuf>,
 }
 
 impl Options {
@@ -87,6 +103,8 @@ impl Options {
             faults: None,
             profile: false,
             prof_out: None,
+            fidelity: Fidelity::Cycle,
+            calibration: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -145,6 +163,18 @@ impl Options {
                     opts.profile = true;
                     opts.prof_out = Some(args.next().expect("--prof-out needs a DIR value").into());
                 }
+                "--fidelity" => {
+                    let v = args.next().expect("--fidelity needs a value");
+                    opts.fidelity =
+                        Fidelity::parse(&v).unwrap_or_else(|e| panic!("bad --fidelity: {e}"));
+                }
+                "--calibration" => {
+                    opts.calibration = Some(
+                        args.next()
+                            .expect("--calibration needs a PATH value")
+                            .into(),
+                    );
+                }
                 "--faults" => {
                     let spec = args.next().expect("--faults needs a SPEC value");
                     let plan = FaultPlan::parse(&spec)
@@ -165,6 +195,11 @@ impl Options {
                          --sanitize                 run the memory-model sanitizer (exit 1 on findings)\n         \
                          --profile                  attach the cycle-attribution profiler (zero simulated cost)\n         \
                          --prof-out DIR             write per-run profile JSON under DIR (implies --profile)\n         \
+                         --fidelity cycle|analytic|auto\n                                    \
+                         backend: cycle-accurate engine (default), calibrated\n                                    \
+                         analytic model, or per-family escalation\n         \
+                         --calibration PATH         calibration table for analytic/auto\n                                    \
+                         (default results/model/calibration.json)\n         \
                          --faults SPEC              inject deterministic faults (e.g. seed=7,horizon=100000,links=4x300;\n                                    \
                          timing-only plans shift cycles, flip=... corrupts data on purpose)"
                     );
@@ -183,7 +218,64 @@ impl Options {
         m.faults = self.faults.clone();
         m.profile = self.profile;
         m.host_threads = self.host_threads.max(1);
+        m.fidelity = self.fidelity;
         m
+    }
+
+    /// Refuse non-cycle fidelities for experiments the analytic model
+    /// is not calibrated for (everything outside the Table-1 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--fidelity analytic|auto` was given.
+    pub fn cycle_only(&self, experiment: &str) {
+        assert!(
+            self.fidelity.is_cycle(),
+            "{experiment} is cycle-accurate only: --fidelity {} is not supported \
+             (the analytic model covers the sweep experiments table1/fig09_speedup)",
+            self.fidelity
+        );
+    }
+
+    /// Load the calibration table for analytic/auto fidelities from
+    /// `--calibration` (default [`CALIBRATION_PATH`]).
+    pub fn calibration_table(&self) -> Result<CalibrationTable, String> {
+        let path = self
+            .calibration
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from(CALIBRATION_PATH));
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "cannot read calibration table {}: {e} (run the calibrate harness \
+                 with --write-golden first, or use --fidelity cycle)",
+                path.display()
+            )
+        })?;
+        CalibrationTable::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// The backend answering this run's cells, per `--fidelity`. Auto
+    /// escalates per family past the calibration table's own
+    /// acceptance bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when analytic/auto fidelity was requested but the
+    /// calibration table is missing or unreadable.
+    pub fn backend(&self) -> Box<dyn Backend> {
+        match self.fidelity {
+            Fidelity::Cycle => Box::new(CycleBackend),
+            Fidelity::Analytic | Fidelity::Auto => {
+                let table = self
+                    .calibration_table()
+                    .unwrap_or_else(|e| panic!("--fidelity {}: {e}", self.fidelity));
+                let bound = table.bound_ppm;
+                match self.fidelity {
+                    Fidelity::Analytic => Box::new(AnalyticBackend::new(table)),
+                    _ => Box::new(AutoBackend::new(table, bound)),
+                }
+            }
+        }
     }
 
     /// Core count.
@@ -233,6 +325,25 @@ impl Options {
     /// per-cell diff table to stderr and exits the process with status
     /// 1.
     pub fn finish_golden(&self, fresh: &GoldenFile) {
+        // Committed goldens are cycle-accurate truth by definition;
+        // refuse to bless or check them from an approximate backend.
+        // An explicit --golden-dir (e.g. the serve executor's scratch
+        // directory) is fine — that is result collection, not truth.
+        if !self.fidelity.is_cycle() && self.golden_dir.is_none() && self.golden != GoldenMode::Run
+        {
+            eprintln!(
+                "refusing --{}-golden under --fidelity {}: committed goldens are \
+                 cycle-accurate only (pass an explicit --golden-dir to collect \
+                 analytic results elsewhere)",
+                if self.golden == GoldenMode::Write {
+                    "write"
+                } else {
+                    "check"
+                },
+                self.fidelity
+            );
+            std::process::exit(1);
+        }
         let dir = self
             .golden_dir
             .clone()

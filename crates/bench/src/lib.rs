@@ -42,9 +42,11 @@ pub mod service;
 pub mod sweep;
 pub mod table;
 
-pub use cli::{GoldenMode, Options};
+pub use cli::{GoldenMode, Options, CALIBRATION_PATH};
 pub use golden::{GoldenCell, GoldenCounter, GoldenFile};
 pub use sanitize::{SanCell, SanitizeGate};
 pub use service::{BinExecutor, EXPERIMENTS};
-pub use sweep::{run_cells, run_sweep, run_sweep_jobs, ConfigResult, SweepRow, SweepTiming};
+pub use sweep::{
+    run_cells, run_sweep, run_sweep_backend, run_sweep_jobs, ConfigResult, SweepRow, SweepTiming,
+};
 pub use table::Table;

@@ -39,6 +39,11 @@ pub const EXPERIMENTS: &[&str] = &[
     "profile",
 ];
 
+/// Experiments whose harnesses run on the analytic backend
+/// (`--fidelity analytic`) — the sweep-shaped ones the calibration
+/// grid covers. Everything else is cycle-accurate only.
+pub const ANALYTIC_EXPERIMENTS: &[&str] = &["table1", "fig09_speedup"];
+
 /// Executor that runs experiment harness binaries as child processes.
 pub struct BinExecutor {
     /// Directory holding the harness binaries (normally the daemon's
@@ -51,6 +56,12 @@ pub struct BinExecutor {
     /// engine); a spec's own `host_threads` can raise it per job. Part
     /// of the same budget: `host_threads_per_run` grows with it.
     pub host_threads: usize,
+    /// Calibration table forwarded to analytic children
+    /// (`--calibration`). `None` leaves the child resolving the
+    /// committed default relative to its own working directory —
+    /// fine in a repo checkout, wrong for a daemon started elsewhere
+    /// with an explicit `--calibration`.
+    pub calibration: Option<PathBuf>,
 }
 
 impl BinExecutor {
@@ -68,6 +79,7 @@ impl BinExecutor {
             exe_dir,
             child_jobs: child_jobs.max(1),
             host_threads: host_threads.max(1),
+            calibration: None,
         })
     }
 
@@ -97,6 +109,25 @@ impl BinExecutor {
             // the child panic on its `--faults` flag.
             mosaic_chaos::FaultPlan::parse(&spec.faults)
                 .map_err(|e| format!("bad faults spec {:?}: {e}", spec.faults))?;
+        }
+        match spec.fidelity.as_str() {
+            "" | "cycle" => {}
+            "analytic" => {
+                if !ANALYTIC_EXPERIMENTS.contains(&spec.experiment.as_str()) {
+                    return Err(format!(
+                        "experiment {:?} is cycle-accurate only (analytic fidelity \
+                         covers: {})",
+                        spec.experiment,
+                        ANALYTIC_EXPERIMENTS.join(", ")
+                    ));
+                }
+            }
+            "auto" => {
+                // The scheduler resolves `auto` before the digest is
+                // taken; one reaching the executor is a wiring bug.
+                return Err("fidelity \"auto\" must be resolved by the scheduler".to_string());
+            }
+            other => return Err(format!("unknown fidelity {other:?} (cycle|analytic|auto)")),
         }
         Ok(())
     }
@@ -129,6 +160,16 @@ impl Executor for BinExecutor {
         }
         if !spec.faults.is_empty() {
             cmd.args(["--faults", &spec.faults]);
+        }
+        if spec.fidelity == "analytic" {
+            // Omitted at the cycle default so legacy argv is unchanged.
+            cmd.args(["--fidelity", &spec.fidelity]);
+            if let Some(table) = &self.calibration {
+                // Hand the child the same table the daemon's escalation
+                // decisions read; without this it would fall back to
+                // the committed default relative to its own cwd.
+                cmd.arg("--calibration").arg(table);
+            }
         }
         cmd.args(["--jobs", &self.child_jobs.to_string()]);
         let host_threads = spec.host_threads.max(self.host_threads);

@@ -21,7 +21,9 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use mosaic_runtime::RuntimeConfig;
-use mosaic_sim::MachineConfig;
+use mosaic_sim::{
+    Backend, BackendJob, CycleBackend, CycleOutcome, FamilyKey, Fidelity, MachineConfig,
+};
 use mosaic_workloads::{Benchmark, Scale};
 
 /// One (workload, config) measurement.
@@ -206,9 +208,63 @@ pub fn run_sweep(
 /// Like [`run_sweep`], but executes the (benchmark, config) cells on up
 /// to `jobs` host threads. Output is bit-identical for every `jobs`
 /// value; `progress` still fires in deterministic cell order.
+///
+/// Always cycle-accurate ([`CycleBackend`] is a transparent
+/// pass-through); use [`run_sweep_backend`] to route cells through a
+/// different fidelity.
 pub fn run_sweep_jobs(
     benches: &[Box<dyn Benchmark>],
     machine: &MachineConfig,
+    jobs: usize,
+    progress: impl FnMut(&str, &str, &ConfigResult),
+) -> (Vec<SweepRow>, SweepTiming) {
+    run_sweep_backend(benches, machine, &CycleBackend, "", jobs, progress)
+}
+
+/// One (benchmark, config) cell of the Table-1 sweep, presented to the
+/// backend seam: its calibration family plus the cycle-accurate way to
+/// run it.
+struct SweepCell<'a> {
+    bench: &'a dyn Benchmark,
+    label: &'static str,
+    runtime: &'a RuntimeConfig,
+    scale: &'a str,
+}
+
+impl BackendJob for SweepCell<'_> {
+    fn family(&self) -> FamilyKey {
+        FamilyKey {
+            workload: self.bench.name(),
+            config: self.label.to_string(),
+            scale: self.scale.to_string(),
+        }
+    }
+
+    fn execute(&self, machine: &MachineConfig) -> CycleOutcome {
+        let out = self.bench.run(machine.clone(), self.runtime.clone());
+        CycleOutcome {
+            cycles: out.report.cycles,
+            instructions: out.report.instructions(),
+            verified: out.verified,
+            sanitizer: out.report.sanitizer,
+        }
+    }
+}
+
+/// The general sweep driver: every cell is answered by `backend` —
+/// the cycle engine, the calibrated analytic model, or per-family auto
+/// escalation. `scale` names the calibration families cells belong to
+/// (ignored by [`CycleBackend`]).
+///
+/// # Panics
+///
+/// Panics when the backend refuses a cell (e.g. `--fidelity analytic`
+/// for a family the calibration table does not cover).
+pub fn run_sweep_backend(
+    benches: &[Box<dyn Benchmark>],
+    machine: &MachineConfig,
+    backend: &dyn Backend,
+    scale: &str,
     jobs: usize,
     mut progress: impl FnMut(&str, &str, &ConfigResult),
 ) -> (Vec<SweepRow>, SweepTiming) {
@@ -244,13 +300,21 @@ pub fn run_sweep_jobs(
         |i| {
             let (bi, ci) = cells[i];
             let (label, cfg) = &configs[ci];
-            let out = benches[bi].run(machine.clone(), cfg.clone());
+            let cell = SweepCell {
+                bench: benches[bi].as_ref(),
+                label,
+                runtime: cfg,
+                scale,
+            };
+            let rep = backend
+                .run_cell(machine, &cell)
+                .unwrap_or_else(|e| panic!("{}: {e}", cell.family()));
             ConfigResult {
                 config: label,
-                cycles: out.report.cycles,
-                instructions: out.report.instructions(),
-                verified: out.verified,
-                sanitizer: crate::sanitize::SanCell::from_report(out.report.sanitizer.as_ref()),
+                cycles: rep.cycles,
+                instructions: rep.instructions,
+                verified: rep.verified,
+                sanitizer: crate::sanitize::SanCell::from_report(rep.sanitizer.as_ref()),
             }
         },
         |i, r| {
@@ -269,20 +333,49 @@ pub fn run_sweep_jobs(
 }
 
 /// Convenience: the full Table-1 sweep at a scale on `jobs` host
-/// threads, with the standard progress line and the harness timing
-/// line on stderr.
-pub fn table1_sweep_jobs(scale: Scale, machine: &MachineConfig, jobs: usize) -> Vec<SweepRow> {
+/// threads, answered by `backend`, with the standard progress line and
+/// the harness timing line on stderr.
+pub fn table1_sweep_backend(
+    scale: Scale,
+    machine: &MachineConfig,
+    backend: &dyn Backend,
+    jobs: usize,
+) -> Vec<SweepRow> {
     let benches = mosaic_workloads::table1_benchmarks(scale);
-    let (rows, timing) = run_sweep_jobs(&benches, machine, jobs, |name, cfg, r| {
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    };
+    let (rows, timing) = run_sweep_backend(
+        &benches,
+        machine,
+        backend,
+        scale_name,
+        jobs,
+        |name, cfg, r| {
+            eprintln!(
+                "  {name:<18} {cfg:<22} {:>10} cycles  {:>10} instrs  {}",
+                r.cycles,
+                r.instructions,
+                if r.verified { "ok" } else { "FAILED-VERIFY" }
+            );
+        },
+    );
+    if backend.fidelity() != Fidelity::Cycle {
         eprintln!(
-            "  {name:<18} {cfg:<22} {:>10} cycles  {:>10} instrs  {}",
-            r.cycles,
-            r.instructions,
-            if r.verified { "ok" } else { "FAILED-VERIFY" }
+            "fidelity: {} backend answered the sweep",
+            backend.fidelity()
         );
-    });
+    }
     timing.log();
     rows
+}
+
+/// Convenience: the full Table-1 sweep at a scale on `jobs` host
+/// threads, cycle-accurately.
+pub fn table1_sweep_jobs(scale: Scale, machine: &MachineConfig, jobs: usize) -> Vec<SweepRow> {
+    table1_sweep_backend(scale, machine, &CycleBackend, jobs)
 }
 
 /// Convenience: the full Table-1 sweep at a scale, serially.

@@ -88,6 +88,7 @@ fn jobspec_fields_stay_digest_covered_or_exempt() {
         seed: _,
         sanitize: _,
         faults: _,
+        fidelity: _,
         host_threads: _,
     } = base.clone();
 
@@ -104,6 +105,7 @@ fn jobspec_fields_stay_digest_covered_or_exempt() {
         ("faults", |s| {
             s.faults = "seed=1,horizon=1000,links=1x10".into()
         }),
+        ("fidelity", |s| s.fidelity = "analytic".into()),
         ("host_threads", |s| s.host_threads = 8),
     ];
 

@@ -27,6 +27,7 @@ fn real_tiny_job_twice_second_is_cache_hit() {
         exe_dir,
         child_jobs: 1,
         host_threads: 1,
+        calibration: None,
     };
     let cfg = ServerConfig {
         addr: "127.0.0.1:0".to_string(),

@@ -93,7 +93,8 @@ pub const RULES: &[RuleInfo] = &[
         name: "flag-parity",
         summary: "a crates/bench/src/bin binary neither constructs the shared \
                   Options CLI nor spells the standard flag set \
-                  (--sanitize/--profile/--faults/--host-threads/--check-golden)",
+                  (--sanitize/--profile/--faults/--host-threads/--fidelity/\
+                  --check-golden)",
     },
     RuleInfo {
         code: "D008",
@@ -124,7 +125,7 @@ pub fn rule_info(code: &str) -> Option<&'static RuleInfo> {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FileClass {
     /// Crate whose behaviour feeds golden numbers (sim, core, mem,
-    /// mesh, prof, workloads, chaos): D001/D003/D004 apply.
+    /// mesh, prof, workloads, chaos, model): D001/D003/D004 apply.
     pub golden_affecting: bool,
     /// Host-side crate (bench, serve, detlint) or workspace test /
     /// example code: wall-clock use is fine (D002 does not apply).
@@ -136,8 +137,21 @@ pub struct FileClass {
     pub bench_bin: bool,
 }
 
-/// Crates whose behaviour determines golden numbers.
-pub const GOLDEN_CRATES: &[&str] = &["sim", "core", "mem", "mesh", "prof", "workloads", "chaos"];
+/// Crates whose behaviour determines golden numbers. `model` is on
+/// the list because analytic answers are cached and diffed like any
+/// other payload: the estimator must be exactly reproducible, so the
+/// determinism rules (no hash iteration, no floats, no ambient host
+/// state) bind it the same as the cycle engine.
+pub const GOLDEN_CRATES: &[&str] = &[
+    "sim",
+    "core",
+    "mem",
+    "mesh",
+    "prof",
+    "workloads",
+    "chaos",
+    "model",
+];
 
 /// Host-side crates where wall-clock time is legitimate.
 pub const HOST_CRATES: &[&str] = &["bench", "serve", "detlint"];
@@ -515,6 +529,7 @@ fn flag_parity(path: &str, lexed: &Lexed) -> Vec<Finding> {
         "--profile",
         "--faults",
         "--host-threads",
+        "--fidelity",
         "--check-golden",
     ];
     let literals: Vec<&str> = tokens
@@ -540,7 +555,7 @@ fn flag_parity(path: &str, lexed: &Lexed) -> Vec<Finding> {
         message: format!(
             "harness binary neither calls Options::parse nor handles the standard \
              flags {} — new bins must not ship without the shared \
-             sanitize/profile/faults/host-threads/golden plumbing",
+             sanitize/profile/faults/host-threads/fidelity/golden plumbing",
             missing.join(", ")
         ),
     }]
@@ -893,6 +908,8 @@ mod tests {
         assert!(classify("crates/core/src/worker.rs").sync_documented);
         assert!(!classify("crates/sim/tests/engine_semantics.rs").sync_documented);
         assert!(classify("crates/sim/tests/engine_semantics.rs").golden_affecting);
+        assert!(classify("crates/model/src/estimate.rs").golden_affecting);
+        assert!(!classify("crates/model/src/estimate.rs").host_side);
         assert!(classify("crates/bench/src/cli.rs").host_side);
         assert!(classify("crates/bench/src/bin/table1.rs").bench_bin);
         assert!(!classify("crates/bench/src/cli.rs").bench_bin);

@@ -1,0 +1,184 @@
+//! Workload-side model inputs: the traffic a workload generates,
+//! measured once per family by a profiled cycle-accurate run.
+//!
+//! All quantities are machine-wide *totals* at the measurement shape
+//! (`base_cols x base_rows`) — total work is what stays roughly
+//! constant as the estimator extrapolates to other core counts, while
+//! per-core shares and contention are what the formulas rescale.
+
+use crate::PPM;
+use jsonlite::Json;
+
+/// Measured traffic demands of one workload family.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkloadDemand {
+    /// Mesh columns of the measurement run.
+    pub base_cols: u64,
+    /// Mesh rows of the measurement run.
+    pub base_rows: u64,
+    /// Elapsed cycles of the measurement run.
+    pub base_elapsed: u64,
+    /// Dynamic instructions (reported verbatim by the analytic
+    /// backend — instruction counts are input-, not timing-, derived).
+    pub instructions: u64,
+    /// Useful-work cycles: `compute` + `fence_amo` + `stack_overflow`
+    /// profiler buckets (work that scales down with more cores).
+    pub compute: u64,
+    /// `spm_stall` bucket total (local port + remote SPM round trips).
+    pub spm_stall: u64,
+    /// `llc_stall` bucket total.
+    pub llc_stall: u64,
+    /// `dram_stall` bucket total.
+    pub dram_stall: u64,
+    /// `steal_search` bucket total (thief-side overhead of the
+    /// dynamic-task runtime).
+    pub steal_search: u64,
+    /// `queue_lock` bucket total.
+    pub queue_lock: u64,
+    /// LLC accesses (bank hits + misses), for bank-contention terms.
+    pub llc_accesses: u64,
+    /// Total flit-hops carried across mesh links, for NoC terms.
+    pub link_flits: u64,
+    /// Span/imbalance slack: elapsed cycles minus the mean per-core
+    /// busy time at the measurement shape. Charged as a core-count-
+    /// independent critical-path term.
+    pub span: u64,
+    /// Distance-dependent critical-path cycles charged per unit of
+    /// mean-hop-ratio growth *beyond the measurement shape*: remote
+    /// accesses on the serial path slow down with the mesh diameter,
+    /// so the critical path stretches on bigger meshes (and this
+    /// charge is exactly zero at the measurement shape itself). Not
+    /// directly measurable from bucket totals — the `calibrate`
+    /// harness fits it (together with [`span`](Self::span)) from the
+    /// scaling grid.
+    pub span_hop: u64,
+    /// Exponent applied to the mean-hop ratio when rescaling
+    /// [`span_hop`](Self::span_hop), in **half units** (2 = linear,
+    /// 4 = quadratic; 0 degenerates to shape-independent). Families
+    /// differ in how sharply their serial path degrades with mesh
+    /// diameter — serialized launch loops grow near-linearly, while
+    /// coordination that both lengthens *and* slows with the machine
+    /// grows closer to cubically — so `calibrate` fits this per
+    /// family from the scaling grid.
+    pub span_hop_exp2: u64,
+}
+
+impl WorkloadDemand {
+    /// Cores of the measurement run.
+    pub fn base_cores(&self) -> u64 {
+        (self.base_cols * self.base_rows).max(1)
+    }
+
+    /// Total busy (non-idle) cycles across all measured components.
+    pub fn busy(&self) -> u64 {
+        self.compute
+            + self.spm_stall
+            + self.llc_stall
+            + self.dram_stall
+            + self.steal_search
+            + self.queue_lock
+    }
+
+    /// Fraction of busy time spent on dynamic-runtime overhead
+    /// (steal search + queue locks), in [`PPM`]. Zero for static
+    /// loops — the estimator's monotonicity argument relies on it.
+    pub fn steal_fraction_ppm(&self) -> u64 {
+        let busy = self.busy();
+        if busy == 0 {
+            return 0;
+        }
+        ((self.steal_search + self.queue_lock) as u128 * PPM as u128 / busy as u128) as u64
+    }
+
+    /// Serialize (stable field order; part of `calibration.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("base_cols", self.base_cols)
+            .field("base_rows", self.base_rows)
+            .field("base_elapsed", self.base_elapsed)
+            .field("instructions", self.instructions)
+            .field("compute", self.compute)
+            .field("spm_stall", self.spm_stall)
+            .field("llc_stall", self.llc_stall)
+            .field("dram_stall", self.dram_stall)
+            .field("steal_search", self.steal_search)
+            .field("queue_lock", self.queue_lock)
+            .field("llc_accesses", self.llc_accesses)
+            .field("link_flits", self.link_flits)
+            .field("span", self.span)
+            .field("span_hop", self.span_hop)
+            .field("span_hop_exp2", self.span_hop_exp2)
+            .build()
+    }
+
+    /// Parse back; every field is required (the format is new — no
+    /// legacy forms to tolerate).
+    pub fn from_json(v: &Json) -> Result<WorkloadDemand, String> {
+        let obj = v.as_object("demand")?;
+        let get = |name: &str| -> Result<u64, String> { obj.get(name, "demand")?.as_u64() };
+        Ok(WorkloadDemand {
+            base_cols: get("base_cols")?,
+            base_rows: get("base_rows")?,
+            base_elapsed: get("base_elapsed")?,
+            instructions: get("instructions")?,
+            compute: get("compute")?,
+            spm_stall: get("spm_stall")?,
+            llc_stall: get("llc_stall")?,
+            dram_stall: get("dram_stall")?,
+            steal_search: get("steal_search")?,
+            queue_lock: get("queue_lock")?,
+            llc_accesses: get("llc_accesses")?,
+            link_flits: get("link_flits")?,
+            span: get("span")?,
+            span_hop: get("span_hop")?,
+            span_hop_exp2: get("span_hop_exp2")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> WorkloadDemand {
+        WorkloadDemand {
+            base_cols: 4,
+            base_rows: 2,
+            base_elapsed: 120_000,
+            instructions: 400_000,
+            compute: 600_000,
+            spm_stall: 120_000,
+            llc_stall: 90_000,
+            dram_stall: 60_000,
+            steal_search: 30_000,
+            queue_lock: 12_000,
+            llc_accesses: 15_000,
+            link_flits: 48_000,
+            span: 4_000,
+            span_hop: 1_500,
+            span_hop_exp2: 3,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let d = sample();
+        assert_eq!(WorkloadDemand::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let v = Json::parse("{\"base_cols\":4}").unwrap();
+        assert!(WorkloadDemand::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let d = sample();
+        assert_eq!(d.base_cores(), 8);
+        assert_eq!(d.busy(), 912_000);
+        // 42_000 / 912_000 ≈ 4.6% runtime overhead.
+        assert_eq!(d.steal_fraction_ppm(), 42_000 * PPM / 912_000);
+        assert_eq!(WorkloadDemand::default().steal_fraction_ppm(), 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! The estimator: a roofline-style max of latency and throughput
+//! terms, with M/D/1 contention solved by integer bisection.
+//!
+//! ## Model
+//!
+//! For a machine of `P` cores the elapsed-cycle estimate `T` is the
+//! least fixed point of
+//!
+//! ```text
+//! T = max( compute/P + Σ_x stall_x · infl_x(T) / P + steal
+//!              + span + span_hop · (hops(P)/hops(P_base) - 1)^(e/2),
+//!          busy_noc / links,  busy_llc / banks,  busy_dram / channels )
+//! ```
+//!
+//! where each `infl_x(T) = (1 + W(ρ_x(T))) / (1 + W(ρ_x^base))`
+//! rescales a *measured* stall total from the contention level of the
+//! measurement run to the contention level implied by the target
+//! shape, using the M/D/1 mean-wait `W(ρ) = ρ / (2(1-ρ))` (in units
+//! of the service time) and utilization `ρ_x(T) = busy_x / (servers_x
+//! · T)`. `steal` is the dynamic-runtime overhead per thief
+//! (`steal_search + queue_lock` divided by the measured core count —
+//! more cores bring proportionally more thieves, paper §3.4). The
+//! critical path splits in two: `span` is shape-independent slack,
+//! while `span_hop` charges *additional* critical-path cycles as the
+//! mean hop count grows beyond the measurement shape — remote
+//! accesses on the serial path cross the mesh, so the path stretches
+//! on bigger meshes. The charge is `span_hop` times the hop-ratio
+//! *growth* `(hops(P)/hops(base) - 1)` raised to the family's fitted
+//! half-step exponent `e/2` (`span_hop_exp2`): exponents below one
+//! model paths that degrade early and saturate, above one paths where
+//! coordination gets both longer *and* slower on bigger machines. At
+//! the measurement shape the charge is exactly zero (the base
+//! reconstruction stays exact), and at a doubled mesh the growth is
+//! 1.0 so `span_hop` *is* the extra charge there, whatever the
+//! exponent. (That charge is why small inputs can get *slower* on
+//! bigger meshes, which matches the cycle engine.)
+//!
+//! The right-hand side is non-increasing in `T` (higher trial horizon
+//! ⇒ lower utilization ⇒ less contention), so the fixed point exists
+//! and bisection finds it exactly. For demands with no
+//! distance-dependent span (`span_hop == 0`, e.g. a static loop over
+//! SPM-resident data) the rhs is also non-increasing in the machine
+//! size (more cores/banks/links only shrink per-core shares and
+//! utilizations while `steal` and `span` stay constant), so those
+//! estimates are **monotone non-increasing in core count** — the
+//! property the backend proptests pin down.
+
+use crate::{pow_half_ppm, scale_ppm, MachineParams, WorkloadDemand, PPM};
+
+/// Utilizations are capped here so the M/D/1 wait stays finite; an
+/// overloaded component saturates at a ~25x service-time wait instead
+/// of diverging.
+const RHO_CAP_PPM: u64 = 980_000;
+
+/// M/D/1 mean wait in units of the service time, `ρ / (2(1-ρ))`,
+/// with `ρ` given (and returned) in [`PPM`].
+pub fn md1_wait_ppm(rho_ppm: u64) -> u64 {
+    let rho = rho_ppm.min(RHO_CAP_PPM) as u128;
+    ((rho * PPM as u128) / (2 * (PPM as u128 - rho))) as u64
+}
+
+/// Utilization of `servers` parallel servers carrying `busy` total
+/// occupancy cycles over a `horizon`, in [`PPM`], capped.
+fn utilization_ppm(busy: u64, servers: u64, horizon: u64) -> u64 {
+    if busy == 0 {
+        return 0;
+    }
+    let cap = servers.max(1) as u128 * horizon.max(1) as u128;
+    ((busy as u128 * PPM as u128) / cap).min(RHO_CAP_PPM as u128) as u64
+}
+
+/// One analytic answer, with the roofline terms that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Estimate {
+    /// Elapsed-cycle estimate (uncorrected; calibration scales it).
+    pub cycles: u64,
+    /// Latency-path term at the solution: per-core work + contention-
+    /// rescaled stalls + steal overhead + span.
+    pub per_core: u64,
+    /// NoC aggregate-bandwidth floor (flit-hops / links).
+    pub noc_bound: u64,
+    /// LLC bank-throughput floor (accesses · service / banks).
+    pub llc_bound: u64,
+    /// DRAM channel-occupancy floor.
+    pub dram_bound: u64,
+    /// Per-core dynamic-runtime overhead charged (0 for static loops).
+    pub steal: u64,
+    /// Critical-path/imbalance slack charged.
+    pub span: u64,
+}
+
+/// The analytic backend's core: machine parameters + the formulas.
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    params: MachineParams,
+}
+
+impl AnalyticModel {
+    /// A model of the given machine shape.
+    pub fn new(params: MachineParams) -> AnalyticModel {
+        AnalyticModel { params }
+    }
+
+    /// The machine this model answers for.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Estimate the elapsed cycles of a workload with the given
+    /// measured demand on this model's machine. Deterministic: pure
+    /// integer arithmetic, no iteration-count or platform sensitivity.
+    pub fn estimate(&self, d: &WorkloadDemand) -> Estimate {
+        let p = &self.params;
+        let base = p.with_shape(d.base_cols, d.base_rows);
+        let cores = p.cores().max(1);
+
+        // Component occupancy totals. Flit-hops grow with the mean
+        // route length, so the measured total is rescaled by the mean-
+        // hop ratio between the target and measurement shapes; LLC
+        // access counts and DRAM traffic are shape-independent.
+        let base_noc_busy = d.link_flits.saturating_mul(p.hop_latency);
+        let hops_ratio_ppm = if base.mean_hops_x1000() == 0 {
+            PPM
+        } else {
+            ((p.mean_hops_x1000() as u128 * PPM as u128) / base.mean_hops_x1000() as u128) as u64
+        };
+        let noc_busy = scale_ppm(base_noc_busy, hops_ratio_ppm);
+        let llc_busy = d.llc_accesses.saturating_mul(p.llc_hit_latency);
+        // The channel is occupied for the burst, not the full observed
+        // stall (which includes activate/CAS latency and the mesh).
+        let dram_busy =
+            d.dram_stall.saturating_mul(p.dram_bus) / (p.dram_bus + p.dram_latency).max(1);
+
+        let noc_bound = noc_busy / p.links();
+        let llc_bound = llc_busy / p.llc_banks.max(1);
+        let dram_bound = dram_busy / p.dram_channels.max(1);
+
+        // Contention already baked into the measured stalls.
+        let w_base_noc = md1_wait_ppm(utilization_ppm(base_noc_busy, base.links(), d.base_elapsed));
+        let w_base_llc = md1_wait_ppm(utilization_ppm(llc_busy, base.llc_banks, d.base_elapsed));
+        let w_base_dram = md1_wait_ppm(utilization_ppm(dram_busy, p.dram_channels, d.base_elapsed));
+
+        let steal = (d.steal_search + d.queue_lock) / d.base_cores();
+        // Growth-only distance charge: zero at (or below) the
+        // measurement shape's mean hop count.
+        let hop_growth_ppm = hops_ratio_ppm.saturating_sub(PPM);
+        let hop_weight_ppm = pow_half_ppm(hop_growth_ppm, d.span_hop_exp2);
+        let span = d.span.saturating_add(scale_ppm(d.span_hop, hop_weight_ppm));
+
+        // Rescale a measured stall total from base contention to the
+        // contention implied by trial horizon `t` on the target shape.
+        let rescaled = |stall: u64, busy: u64, servers: u64, w_base: u64, t: u64| -> u64 {
+            let w_t = md1_wait_ppm(utilization_ppm(busy, servers, t));
+            let ratio_ppm = (((PPM + w_t) as u128 * PPM as u128) / (PPM + w_base) as u128) as u64;
+            scale_ppm(stall, ratio_ppm)
+        };
+        let latency_path = |t: u64| -> u64 {
+            let spm = rescaled(d.spm_stall, noc_busy, p.links(), w_base_noc, t);
+            let llc = rescaled(d.llc_stall, llc_busy, p.llc_banks.max(1), w_base_llc, t);
+            let dram = rescaled(
+                d.dram_stall,
+                dram_busy,
+                p.dram_channels.max(1),
+                w_base_dram,
+                t,
+            );
+            let shared = d
+                .compute
+                .saturating_add(spm)
+                .saturating_add(llc)
+                .saturating_add(dram);
+            (shared / cores).saturating_add(steal).saturating_add(span)
+        };
+        let rhs = |t: u64| -> u64 {
+            latency_path(t)
+                .max(noc_bound)
+                .max(llc_bound)
+                .max(dram_bound)
+                .max(1)
+        };
+
+        // The capped utilization bounds the wait at ~24.5 service
+        // times, so 26x every stall (plus everything else, undivided)
+        // is a safe ceiling with rhs(hi) <= hi.
+        let hi0 = d
+            .compute
+            .saturating_add(d.spm_stall.saturating_mul(26))
+            .saturating_add(d.llc_stall.saturating_mul(26))
+            .saturating_add(d.dram_stall.saturating_mul(26))
+            .saturating_add(d.steal_search)
+            .saturating_add(d.queue_lock)
+            .saturating_add(span)
+            .saturating_add(noc_bound)
+            .saturating_add(llc_bound)
+            .saturating_add(dram_bound)
+            .max(1);
+        let (mut lo, mut hi) = (1u64, hi0);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if rhs(mid) <= mid {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let cycles = hi;
+
+        Estimate {
+            cycles,
+            per_core: latency_path(cycles),
+            noc_bound,
+            llc_bound,
+            dram_bound,
+            steal,
+            span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel_err_ppm;
+
+    fn params(cols: u64, rows: u64) -> MachineParams {
+        MachineParams {
+            cols,
+            rows,
+            hop_latency: 1,
+            llc_banks: 2 * cols,
+            llc_hit_latency: 6,
+            dram_channels: 1,
+            dram_latency: 30,
+            dram_bus: 6,
+        }
+    }
+
+    fn demand() -> WorkloadDemand {
+        WorkloadDemand {
+            base_cols: 4,
+            base_rows: 2,
+            base_elapsed: 120_000,
+            instructions: 400_000,
+            compute: 600_000,
+            spm_stall: 120_000,
+            llc_stall: 90_000,
+            dram_stall: 60_000,
+            steal_search: 30_000,
+            queue_lock: 12_000,
+            llc_accesses: 15_000,
+            link_flits: 48_000,
+            span: 6_000,
+            span_hop: 0,
+            span_hop_exp2: 2,
+        }
+    }
+
+    #[test]
+    fn md1_wait_grows_with_utilization_and_saturates() {
+        assert_eq!(md1_wait_ppm(0), 0);
+        // rho = 0.5 => W/S = 0.5.
+        assert_eq!(md1_wait_ppm(PPM / 2), PPM / 2);
+        assert!(md1_wait_ppm(900_000) > md1_wait_ppm(500_000));
+        // Capped: anything past the cap waits like the cap.
+        assert_eq!(md1_wait_ppm(PPM), md1_wait_ppm(RHO_CAP_PPM));
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let m = AnalyticModel::new(params(8, 4));
+        let d = demand();
+        assert_eq!(m.estimate(&d), m.estimate(&d));
+    }
+
+    #[test]
+    fn estimate_reconstructs_the_measurement_run() {
+        // At the measurement shape the contention rescale is exactly
+        // 1x and per-core work + span reproduces the measured elapsed
+        // cycles (up to integer division in the per-core share):
+        // demand() has busy/P = 114_000 and span = 6_000.
+        let mut d = demand();
+        d.span = d.base_elapsed - d.busy() / d.base_cores();
+        let est = AnalyticModel::new(params(4, 2)).estimate(&d);
+        assert!(
+            rel_err_ppm(est.cycles, d.base_elapsed) < 20_000,
+            "reconstruction {} vs measured {}",
+            est.cycles,
+            d.base_elapsed
+        );
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_core_count_for_static_demands() {
+        let mut d = demand();
+        d.steal_search = 0;
+        d.queue_lock = 0;
+        let shapes = [(2, 2), (4, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16)];
+        let mut last = u64::MAX;
+        for (c, r) in shapes {
+            let est = AnalyticModel::new(params(c, r)).estimate(&d);
+            assert!(
+                est.cycles <= last,
+                "estimate grew from {last} to {} at {c}x{r}",
+                est.cycles
+            );
+            last = est.cycles;
+        }
+    }
+
+    #[test]
+    fn hop_dependent_span_grows_with_mesh_diameter() {
+        // Tiny inputs can get slower on bigger meshes: the serial
+        // path's remote accesses cross more hops. A span_hop-dominated
+        // demand must estimate higher on 16x8 than on its 4x2 base.
+        let d = WorkloadDemand {
+            base_cols: 4,
+            base_rows: 2,
+            base_elapsed: 10_000,
+            compute: 8_000,
+            span: 2_000,
+            span_hop: 6_000,
+            span_hop_exp2: 2,
+            ..WorkloadDemand::default()
+        };
+        let small = AnalyticModel::new(params(4, 2)).estimate(&d);
+        let big = AnalyticModel::new(params(16, 8)).estimate(&d);
+        // Mean hops go 2 -> 8, so the charged span roughly doubles the
+        // whole estimate while the per-core work shrinks.
+        assert!(
+            big.cycles > small.cycles,
+            "distance growth missing: {} vs {}",
+            big.cycles,
+            small.cycles
+        );
+        assert!(big.span > small.span);
+        // At the base shape the distance charge is exactly zero.
+        assert_eq!(small.span, d.span);
+        // A steeper fitted exponent degrades faster: the hop-ratio
+        // growth at 16x8 is 4 - 1 = 3, so the weight is 3 (linear,
+        // exp2 = 2) vs 9 (quadratic, exp2 = 4) — a 3x steeper charge.
+        let mut quad = d.clone();
+        quad.span_hop_exp2 = 4;
+        let big_quad = AnalyticModel::new(params(16, 8)).estimate(&quad);
+        let (charged, linear) = (big_quad.span - d.span, big.span - d.span);
+        // Up to a few cycles of fixed-point rounding in the half-power.
+        assert!(
+            charged.abs_diff(3 * linear) <= 8,
+            "quadratic hop weight should charge ~3x the linear one: {charged} vs 3*{linear}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_demand() {
+        let m = AnalyticModel::new(params(8, 4));
+        let d = demand();
+        let mut heavier = d.clone();
+        heavier.compute *= 2;
+        assert!(m.estimate(&heavier).cycles > m.estimate(&d).cycles);
+        let mut stallier = d.clone();
+        stallier.dram_stall *= 4;
+        assert!(m.estimate(&stallier).cycles > m.estimate(&d).cycles);
+    }
+
+    #[test]
+    fn aggregate_bounds_floor_the_estimate() {
+        // A demand that is pure DRAM traffic cannot finish faster than
+        // the channel can stream it, however many cores there are.
+        let mut d = WorkloadDemand {
+            base_cols: 4,
+            base_rows: 2,
+            base_elapsed: 1_000_000,
+            dram_stall: 3_600_000,
+            ..WorkloadDemand::default()
+        };
+        d.compute = 1_000;
+        let est = AnalyticModel::new(params(16, 16)).estimate(&d);
+        assert!(est.dram_bound > 0);
+        assert!(est.cycles >= est.dram_bound);
+    }
+
+    #[test]
+    fn steal_overhead_is_charged_per_core() {
+        let m = AnalyticModel::new(params(8, 4));
+        let d = demand();
+        let mut stealless = d.clone();
+        stealless.steal_search = 0;
+        stealless.queue_lock = 0;
+        let with = m.estimate(&d);
+        let without = m.estimate(&stealless);
+        assert!(with.steal > 0);
+        assert_eq!(without.steal, 0);
+        assert!(with.cycles > without.cycles);
+    }
+}

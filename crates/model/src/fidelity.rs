@@ -1,0 +1,76 @@
+//! The fidelity selector shared by every layer of the stack: machine
+//! config, bench CLI, job specs, and the serve scheduler.
+
+/// Which backend answers a simulation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// The cycle-accurate discrete-event engine (the default; the only
+    /// fidelity that can bless or check golden numbers).
+    #[default]
+    Cycle,
+    /// The analytic queueing/throughput model: microseconds instead of
+    /// seconds, valid only where calibration says so.
+    Analytic,
+    /// Resolve per request: answer from the analytic model when the
+    /// experiment family's calibrated error bound is tight enough,
+    /// escalate to cycle-accurate otherwise. Must be resolved to one
+    /// of the concrete fidelities before a job digest is taken.
+    Auto,
+}
+
+impl Fidelity {
+    /// Stable lowercase name (CLI values, wire forms, digests).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fidelity::Cycle => "cycle",
+            Fidelity::Analytic => "analytic",
+            Fidelity::Auto => "auto",
+        }
+    }
+
+    /// Parse a CLI/wire name. The empty string means [`Fidelity::Cycle`]
+    /// so job specs written before the field existed keep their
+    /// meaning.
+    pub fn parse(s: &str) -> Result<Fidelity, String> {
+        Ok(match s {
+            "" | "cycle" => Fidelity::Cycle,
+            "analytic" => Fidelity::Analytic,
+            "auto" => Fidelity::Auto,
+            other => return Err(format!("unknown fidelity {other:?} (cycle|analytic|auto)")),
+        })
+    }
+
+    /// Whether this is the cycle-accurate engine (the only fidelity
+    /// whose numbers may touch committed goldens).
+    pub fn is_cycle(self) -> bool {
+        matches!(self, Fidelity::Cycle)
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for f in [Fidelity::Cycle, Fidelity::Analytic, Fidelity::Auto] {
+            assert_eq!(Fidelity::parse(f.as_str()), Ok(f));
+            assert_eq!(format!("{f}"), f.as_str());
+        }
+        assert!(Fidelity::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn empty_string_is_legacy_cycle() {
+        assert_eq!(Fidelity::parse(""), Ok(Fidelity::Cycle));
+        assert_eq!(Fidelity::default(), Fidelity::Cycle);
+        assert!(Fidelity::Cycle.is_cycle());
+        assert!(!Fidelity::Auto.is_cycle());
+    }
+}

@@ -1,0 +1,101 @@
+//! Machine-side model inputs: per-component service rates derived
+//! from the machine shape.
+//!
+//! This crate sits *below* `mosaic-sim`, so it cannot read a
+//! `MachineConfig` directly; `mosaic_sim::backend` converts one into
+//! this flat parameter block (and that conversion is the single place
+//! the two descriptions are kept in sync).
+
+/// Service-rate description of one machine shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineParams {
+    /// Mesh columns (cores per row).
+    pub cols: u64,
+    /// Mesh core rows.
+    pub rows: u64,
+    /// Cycles per mesh hop.
+    pub hop_latency: u64,
+    /// LLC banks (independent servers for bank contention).
+    pub llc_banks: u64,
+    /// LLC bank occupancy per access, cycles.
+    pub llc_hit_latency: u64,
+    /// Independent DRAM channels.
+    pub dram_channels: u64,
+    /// Uncontended DRAM access latency (activate + CAS class), cycles.
+    pub dram_latency: u64,
+    /// DRAM data-bus occupancy per access (burst length), cycles.
+    pub dram_bus: u64,
+}
+
+impl MachineParams {
+    /// Core count.
+    pub fn cores(&self) -> u64 {
+        self.cols * self.rows
+    }
+
+    /// Mesh links modeled as independent contention servers. The mesh
+    /// has ~4 links per node (N/S/E/W, plus ruche expresses and the
+    /// LLC rows); the constant is an approximation the calibration
+    /// correction absorbs.
+    pub fn links(&self) -> u64 {
+        (4 * self.cols * self.rows).max(1)
+    }
+
+    /// Mean Manhattan distance between uniform random mesh endpoints,
+    /// in milli-hops: `E|dx| + E|dy| ≈ (cols + rows) / 3`.
+    pub fn mean_hops_x1000(&self) -> u64 {
+        ((self.cols + self.rows) * 1000) / 3
+    }
+
+    /// The same component timings on a different mesh shape — used to
+    /// reconstruct the shape a demand was measured on. The LLC bank
+    /// count scales with `cols` (the machine ties banks to the two LLC
+    /// mesh rows, `banks = 2 * cols`).
+    pub fn with_shape(&self, cols: u64, rows: u64) -> MachineParams {
+        let cols = cols.max(1);
+        MachineParams {
+            cols,
+            rows: rows.max(1),
+            llc_banks: ((self.llc_banks * cols) / self.cols.max(1)).max(1),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cols: u64, rows: u64) -> MachineParams {
+        MachineParams {
+            cols,
+            rows,
+            hop_latency: 1,
+            llc_banks: 2 * cols,
+            llc_hit_latency: 6,
+            dram_channels: 1,
+            dram_latency: 30,
+            dram_bus: 6,
+        }
+    }
+
+    #[test]
+    fn derived_quantities_scale_with_the_mesh() {
+        let small = p(4, 2);
+        let big = p(8, 4);
+        assert_eq!(small.cores(), 8);
+        assert_eq!(big.cores(), 32);
+        assert!(big.links() > small.links());
+        assert!(big.mean_hops_x1000() > small.mean_hops_x1000());
+    }
+
+    #[test]
+    fn with_shape_keeps_component_timings() {
+        let base = p(8, 4).with_shape(4, 2);
+        assert_eq!(base.cols, 4);
+        assert_eq!(base.rows, 2);
+        assert_eq!(base.llc_hit_latency, 6);
+        assert_eq!(base.llc_banks, 8, "banks follow the 2*cols rule");
+        assert_eq!(base.dram_latency, 30);
+    }
+}

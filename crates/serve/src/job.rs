@@ -47,6 +47,13 @@ pub struct JobSpec {
     /// thread counts are the same computation and must share a cache
     /// entry (asserted by `digest_ignores_host_threads`).
     pub host_threads: usize,
+    /// Backend fidelity: `""`/`"cycle"` (cycle-accurate default),
+    /// `"analytic"` (the calibrated model), or `"auto"` (the scheduler
+    /// resolves it against its calibration table before the digest is
+    /// taken, so `auto` itself never reaches the cache). Part of the
+    /// digest: an analytic answer is a different computation from a
+    /// cycle-accurate one and must never share a cache entry with it.
+    pub fidelity: String,
 }
 
 impl JobSpec {
@@ -64,6 +71,7 @@ impl JobSpec {
             sanitize: false,
             faults: String::new(),
             host_threads: 1,
+            fidelity: String::new(),
         }
     }
 
@@ -81,6 +89,7 @@ impl JobSpec {
             .field("seed", self.seed)
             .field("sanitize", self.sanitize)
             .field("faults", self.faults.as_str())
+            .field("fidelity", self.fidelity.as_str())
             .build()
     }
 
@@ -97,6 +106,7 @@ impl JobSpec {
             .field("seed", self.seed)
             .field("sanitize", self.sanitize)
             .field("faults", self.faults.as_str())
+            .field("fidelity", self.fidelity.as_str())
             .field("host_threads", self.host_threads as u64)
             .build()
     }
@@ -124,6 +134,12 @@ impl JobSpec {
             host_threads: match obj.opt("host_threads") {
                 Some(h) => (h.as_u64()? as usize).max(1),
                 None => 1,
+            },
+            // Absent in specs from before the dual-fidelity backends:
+            // cycle-accurate, exactly as those clients ran.
+            fidelity: match obj.opt("fidelity") {
+                Some(f) => f.as_string()?,
+                None => String::new(),
             },
         })
     }
@@ -227,6 +243,12 @@ mod tests {
         let mut e = a.clone();
         e.faults = "seed=7,horizon=1000,links=1x100".into();
         assert_ne!(a.digest(), e.digest());
+
+        // An analytic answer is a different computation from a
+        // cycle-accurate one: it must never share a cache entry.
+        let mut f = a.clone();
+        f.fidelity = "analytic".into();
+        assert_ne!(a.digest(), f.digest());
     }
 
     #[test]
@@ -240,6 +262,7 @@ mod tests {
         s.sanitize = true;
         s.faults = "seed=3,horizon=5000,freeze=2x100".into();
         s.host_threads = 4;
+        s.fidelity = "analytic".into();
         assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
     }
 
@@ -271,6 +294,7 @@ mod tests {
         .unwrap();
         let spec = JobSpec::from_json(&legacy).unwrap();
         assert_eq!(spec.faults, "");
+        assert_eq!(spec.fidelity, "", "pre-model specs mean cycle-accurate");
         assert_eq!(spec.experiment, "table1");
     }
 

@@ -13,6 +13,7 @@ use crate::cache::ResultCache;
 use crate::job::{JobSpec, JobState};
 use crate::metrics::Metrics;
 use crate::sync::{lock, wait};
+use mosaic_model::CalibrationTable;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +60,15 @@ pub struct SchedConfig {
     /// Bounded retry policy for failed attempts (executor errors,
     /// panics, worker deaths). The default performs no retries.
     pub retry: RetryPolicy,
+    /// Calibration table backing `auto`-fidelity resolution. `None`
+    /// (the default) rejects `auto` submissions outright — a daemon
+    /// that never ran `calibrate` has no basis for trusting the
+    /// analytic model.
+    pub calibration: Option<Arc<CalibrationTable>>,
+    /// Widest calibrated confidence band (relative error, ppm) the
+    /// scheduler still answers analytically; `auto` jobs over it are
+    /// escalated to the cycle-accurate backend.
+    pub escalate_bound_ppm: u64,
 }
 
 impl Default for SchedConfig {
@@ -68,6 +78,8 @@ impl Default for SchedConfig {
             workers: 1,
             job_timeout: Duration::from_secs(600),
             retry: RetryPolicy::default(),
+            calibration: None,
+            escalate_bound_ppm: 100_000,
         }
     }
 }
@@ -249,6 +261,10 @@ pub enum Submit {
     },
     /// Rejected because the server is draining for shutdown.
     Draining,
+    /// Rejected because the spec asked for something this daemon
+    /// cannot serve (e.g. `auto` fidelity without a calibration
+    /// table). The message goes back verbatim as an `error` response.
+    Unsupported(String),
 }
 
 struct SchedInner {
@@ -304,9 +320,39 @@ impl Scheduler {
         sched
     }
 
-    /// Submit a spec: cache lookup, duplicate coalescing, admission
-    /// control, then enqueue.
-    pub fn submit(&self, spec: JobSpec) -> Submit {
+    /// Resolve `auto` fidelity against the calibration table: answer
+    /// analytically when the experiment's calibrated confidence band
+    /// is inside the escalation bound, escalate to cycle-accurate
+    /// otherwise. Runs *before* the digest is taken, so a resolved
+    /// `auto` submission shares its cache entry with an explicit one.
+    fn resolve_fidelity(&self, spec: &mut JobSpec) -> Result<(), String> {
+        if spec.fidelity != "auto" {
+            return Ok(());
+        }
+        let Some(table) = &self.cfg.calibration else {
+            return Err(
+                "fidelity \"auto\" needs a calibration table; this daemon was started \
+                 without one (run the calibrate harness, then pass --calibration)"
+                    .to_string(),
+            );
+        };
+        if table.within_bound(&spec.experiment, &spec.scale, self.cfg.escalate_bound_ppm) {
+            spec.fidelity = "analytic".to_string();
+            self.metrics.fast_jobs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            spec.fidelity = "cycle".to_string();
+            self.metrics.escalations.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Submit a spec: `auto`-fidelity resolution, cache lookup,
+    /// duplicate coalescing, admission control, then enqueue.
+    pub fn submit(&self, mut spec: JobSpec) -> Submit {
+        if let Err(e) = self.resolve_fidelity(&mut spec) {
+            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Submit::Unsupported(e);
+        }
         let id = spec.digest();
         let mut g = lock(&self.inner);
         if g.draining {
@@ -450,7 +496,8 @@ impl Scheduler {
                     // Counters first, terminal state last: waiters wake
                     // on the state change and may read metrics at once.
                     self.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.observe_latency(job.enqueued_at.elapsed());
+                    self.metrics
+                        .observe_latency(&job.spec.fidelity, job.enqueued_at.elapsed());
                     job.set_state(|v| v.state = JobState::TimedOut);
                     return;
                 }
@@ -465,7 +512,8 @@ impl Scheduler {
             };
             if job.is_cancelled() {
                 self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-                self.metrics.observe_latency(job.enqueued_at.elapsed());
+                self.metrics
+                    .observe_latency(&job.spec.fidelity, job.enqueued_at.elapsed());
                 job.set_state(|v| v.state = JobState::Cancelled);
                 return;
             }
@@ -474,7 +522,8 @@ impl Scheduler {
                     self.metrics.absorb_profile(&payload);
                     self.cache.insert(&job.id, &job.spec, &payload);
                     self.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.observe_latency(job.enqueued_at.elapsed());
+                    self.metrics
+                        .observe_latency(&job.spec.fidelity, job.enqueued_at.elapsed());
                     job.set_state(|v| {
                         v.state = JobState::Done;
                         v.payload = Some(payload);
@@ -501,7 +550,8 @@ impl Scheduler {
             }
         }
         self.metrics.failed.fetch_add(1, Ordering::Relaxed);
-        self.metrics.observe_latency(job.enqueued_at.elapsed());
+        self.metrics
+            .observe_latency(&job.spec.fidelity, job.enqueued_at.elapsed());
         job.set_state(|v| {
             v.state = JobState::Failed;
             v.error = Some(last_err);

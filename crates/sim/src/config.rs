@@ -4,6 +4,7 @@ use crate::Cycle;
 use mosaic_chaos::FaultPlan;
 use mosaic_mem::{DramConfig, LlcConfig};
 use mosaic_mesh::MeshConfig;
+use mosaic_model::Fidelity;
 
 /// Everything needed to instantiate a [`Machine`](crate::Machine).
 #[derive(Debug, Clone)]
@@ -60,6 +61,13 @@ pub struct MachineConfig {
     /// payloads, profiles) is byte-identical for every value; see
     /// `docs/determinism.md`.
     pub host_threads: usize,
+    /// Which backend answers runs of this machine: the cycle-accurate
+    /// engine (`Cycle`, the default — byte-identical goldens), the
+    /// calibrated analytic model (`Analytic`), or per-family
+    /// escalation (`Auto`). Selection only — the `Machine` itself
+    /// always simulates cycle-accurately; harnesses route through
+    /// [`Backend`](crate::backend::Backend) based on this field.
+    pub fidelity: Fidelity,
 }
 
 impl MachineConfig {
@@ -114,6 +122,7 @@ impl MachineConfig {
             profile: false,
             faults: None,
             host_threads: 1,
+            fidelity: Fidelity::Cycle,
         }
     }
 
@@ -199,6 +208,12 @@ mod tests {
         assert!(c.validate().is_ok());
         c.host_threads = 0;
         assert!(c.validate().is_err(), "zero host threads is rejected");
+    }
+
+    #[test]
+    fn cycle_fidelity_is_the_default() {
+        assert_eq!(MachineConfig::small(4, 2).fidelity, Fidelity::Cycle);
+        assert_eq!(MachineConfig::default().fidelity, Fidelity::Cycle);
     }
 
     #[test]

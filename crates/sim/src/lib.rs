@@ -55,18 +55,24 @@
 //! assert!(report.cycles > 0);
 //! ```
 
+pub mod backend;
 pub mod calendar;
 pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod machine;
 
+pub use backend::{
+    demand_from_profile, machine_params, AnalyticBackend, AutoBackend, Backend, BackendJob,
+    BackendReport, CycleBackend, CycleOutcome, FamilyKey,
+};
 pub use calendar::CalendarQueue;
 pub use config::MachineConfig;
 pub use counters::{CoreCounters, MachineCounters};
 pub use engine::{CoreApi, Engine, Report, SimError};
 pub use machine::Machine;
 pub use mosaic_chaos::FaultPlan;
+pub use mosaic_model::Fidelity;
 
 pub use mosaic_mem::{Addr, AmoOp, Region};
 pub use mosaic_prof::{Bucket, MachineProfile, MemClass, Phase, ProfSink, BUCKET_COUNT};
