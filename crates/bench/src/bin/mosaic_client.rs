@@ -14,7 +14,7 @@ use mosaic_serve::{Client, JobSpec, JobState, Request, RetryPolicy, SubmitReply}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mosaic-client [--addr HOST:PORT] COMMAND\n\
+        "usage: mosaic-client [--addr HOST:PORT] [--connect-timeout-ms N] COMMAND\n\
          commands:\n  \
          submit EXPERIMENT [--scale tiny|small|full] [--cols N --rows N] [--sanitize] [--faults SPEC]\n                   \
          [--fidelity cycle|analytic|auto] [--wait] [--watch]\n  \
@@ -38,14 +38,27 @@ fn main() {
         }
         addr = args.remove(i);
     }
+    // Overall wall-clock budget for the connect-retry loop; without it
+    // the retries are bounded only by attempt count.
+    let mut connect_timeout = std::time::Duration::MAX;
+    if let Some(i) = args.iter().position(|a| a == "--connect-timeout-ms") {
+        args.remove(i);
+        if i >= args.len() {
+            usage();
+        }
+        let ms: u64 = args.remove(i).parse().unwrap_or_else(|_| usage());
+        connect_timeout = std::time::Duration::from_millis(ms);
+    }
     if args.is_empty() {
         usage();
     }
     let command = args.remove(0);
     // Bounded connect retries: tolerates a daemon that is still
-    // binding (or being restarted by a supervisor) without hanging.
-    let mut client = Client::connect_with_retry(&addr, &RetryPolicy::with_attempts(3))
-        .unwrap_or_else(|e| panic!("cannot connect to serve daemon at {addr}: {e}"));
+    // binding (or being restarted by a supervisor) without hanging —
+    // and never longer than --connect-timeout-ms in total.
+    let mut client =
+        Client::connect_with_deadline(&addr, &RetryPolicy::with_attempts(3), connect_timeout)
+            .unwrap_or_else(|e| panic!("cannot connect to serve daemon at {addr}: {e}"));
 
     let fail = |e: String| -> ! {
         eprintln!("mosaic-client: {e}");

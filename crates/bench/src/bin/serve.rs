@@ -75,6 +75,8 @@ fn main() {
             }
             "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
             "--no-cache-dir" => cfg.cache_dir = None,
+            "--journal-dir" => cfg.journal_dir = Some(PathBuf::from(value("--journal-dir"))),
+            "--no-journal" => cfg.journal_dir = None,
             "--retries" => {
                 let attempts: u32 = value("--retries")
                     .parse()
@@ -106,9 +108,12 @@ fn main() {
                      --timeout-secs N       per-job wall-clock timeout (default 600)\n         \
                      --cache-dir PATH       on-disk result cache (default results/cache)\n         \
                      --no-cache-dir         memory-only cache\n         \
+                     --journal-dir PATH     crash-safety job journal (default results/journal)\n         \
+                     --no-journal           disable the journal (a kill loses queued/running jobs)\n         \
                      --retries N            attempts per job incl. the first (default 1 = no retry)\n         \
-                     --chaos-host SPEC      inject host faults, e.g. panics=2,slow=100 (testing the\n                                \
-                     isolation/retry machinery; see mosaic-chaos)\n         \
+                     --chaos-host SPEC      inject host faults, e.g. panics=2,slow=100,kill=500\n                                \
+                     (testing the isolation/retry/crash-recovery machinery;\n                                \
+                     see mosaic-chaos)\n         \
                      --calibration PATH     calibration table backing auto-fidelity submissions\n                                \
                      (default results/model/calibration.json when present;\n                                \
                      without a table, auto submissions are rejected)\n         \
@@ -180,11 +185,14 @@ fn main() {
         Arc::new(executor)
     } else {
         eprintln!("serve: CHAOS host faults active ({})", chaos_host.to_spec());
-        Arc::new(FaultyExecutor::new(
-            Arc::new(executor),
-            chaos_host.panic_attempts,
-            Duration::from_millis(chaos_host.slow_ms),
-        ))
+        Arc::new(
+            FaultyExecutor::new(
+                Arc::new(executor),
+                chaos_host.panic_attempts,
+                Duration::from_millis(chaos_host.slow_ms),
+            )
+            .kill_after(Duration::from_millis(chaos_host.kill_after_ms)),
+        )
     };
     let server = Server::start(cfg, executor).expect("bind serve daemon");
     // Stdout carries exactly the bound address so scripts can scrape

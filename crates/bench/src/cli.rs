@@ -78,6 +78,21 @@ pub struct Options {
     /// (`--calibration PATH`); `None` = the committed
     /// [`CALIBRATION_PATH`].
     pub calibration: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in simulated cycles (`--checkpoint-every N`);
+    /// 0 = no checkpoints. Purely a durability knob: results are
+    /// byte-identical at every cadence.
+    pub checkpoint_every: u64,
+    /// Directory for checkpoint images (`--checkpoint-dir PATH`);
+    /// `None` = `results/checkpoints/`.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Resume-verify against a checkpoint image (`--resume-from PATH`):
+    /// the run re-executes deterministically from cycle 0 and
+    /// hard-fails unless its state at the checkpoint's event boundary
+    /// is byte-identical to the image. Applies to *every* cell a
+    /// harness runs, so use it with single-run harnesses (trace_run)
+    /// or a sweep filtered down to the cell that wrote the image —
+    /// other cells correctly fail the verification.
+    pub resume_from: Option<std::path::PathBuf>,
 }
 
 impl Options {
@@ -105,6 +120,9 @@ impl Options {
             prof_out: None,
             fidelity: Fidelity::Cycle,
             calibration: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume_from: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -175,6 +193,27 @@ impl Options {
                             .into(),
                     );
                 }
+                "--checkpoint-every" => {
+                    opts.checkpoint_every = args
+                        .next()
+                        .expect("--checkpoint-every needs a value")
+                        .parse()
+                        .expect("--checkpoint-every must be an integer (cycles)");
+                }
+                "--checkpoint-dir" => {
+                    opts.checkpoint_dir = Some(
+                        args.next()
+                            .expect("--checkpoint-dir needs a PATH value")
+                            .into(),
+                    );
+                }
+                "--resume-from" => {
+                    opts.resume_from = Some(
+                        args.next()
+                            .expect("--resume-from needs a PATH value")
+                            .into(),
+                    );
+                }
                 "--faults" => {
                     let spec = args.next().expect("--faults needs a SPEC value");
                     let plan = FaultPlan::parse(&spec)
@@ -200,6 +239,11 @@ impl Options {
                          analytic model, or per-family escalation\n         \
                          --calibration PATH         calibration table for analytic/auto\n                                    \
                          (default results/model/calibration.json)\n         \
+                         --checkpoint-every N       write a machine checkpoint every N simulated cycles\n                                    \
+                         (0 = never; results byte-identical either way)\n         \
+                         --checkpoint-dir PATH      checkpoint directory (default results/checkpoints)\n         \
+                         --resume-from PATH         verify this run against a checkpoint image\n                                    \
+                         (applies to every cell; hard-fails on divergence at its boundary)\n         \
                          --faults SPEC              inject deterministic faults (e.g. seed=7,horizon=100000,links=4x300;\n                                    \
                          timing-only plans shift cycles, flip=... corrupts data on purpose)"
                     );
@@ -219,6 +263,9 @@ impl Options {
         m.profile = self.profile;
         m.host_threads = self.host_threads.max(1);
         m.fidelity = self.fidelity;
+        m.checkpoint_every = self.checkpoint_every;
+        m.checkpoint_dir = self.checkpoint_dir.clone();
+        m.resume_from = self.resume_from.clone();
         m
     }
 

@@ -179,6 +179,15 @@ impl Executor for BinExecutor {
             // unchanged; the digest ignores it either way.
             cmd.args(["--host-threads", &host_threads.to_string()]);
         }
+        if spec.checkpoint_every > 0 {
+            // Durability knob: checkpoints land in the job's scratch
+            // directory, so a crashed child leaves its images behind
+            // for post-mortem while a clean run tidies them away with
+            // the rest of the scratch. The digest ignores the cadence;
+            // results are byte-identical either way.
+            cmd.args(["--checkpoint-every", &spec.checkpoint_every.to_string()]);
+            cmd.arg("--checkpoint-dir").arg(scratch.join("checkpoints"));
+        }
         cmd.arg("--write-golden").arg("--golden-dir").arg(&scratch);
         cmd.stdin(Stdio::null())
             .stdout(Stdio::null())

@@ -73,7 +73,7 @@ proptest! {
 fn jobspec_fields_stay_digest_covered_or_exempt() {
     // Must mirror the exempt list in detlint.toml — fields that ride
     // the wire but are byte-identity-irrelevant to results.
-    const EXEMPT: &[&str] = &["host_threads"];
+    const EXEMPT: &[&str] = &["host_threads", "checkpoint_every"];
 
     let base = JobSpec::new("table1", "tiny");
     // Exhaustive destructure: a new JobSpec field is a compile error
@@ -90,6 +90,7 @@ fn jobspec_fields_stay_digest_covered_or_exempt() {
         faults: _,
         fidelity: _,
         host_threads: _,
+        checkpoint_every: _,
     } = base.clone();
 
     type Mutator = fn(&mut JobSpec);
@@ -107,6 +108,7 @@ fn jobspec_fields_stay_digest_covered_or_exempt() {
         }),
         ("fidelity", |s| s.fidelity = "analytic".into()),
         ("host_threads", |s| s.host_threads = 8),
+        ("checkpoint_every", |s| s.checkpoint_every = 25_000),
     ];
 
     // The wire form must carry every field under its own name, and

@@ -3,24 +3,32 @@
 //!
 //! Unlike the machine families, host faults perturb the *service*
 //! around the simulator — they exist to exercise panic isolation, job
-//! timeouts, and retry-with-backoff. The plan is a tiny spec string
-//! (`panics=N,slow=MS`) so the serve daemon can accept it on the
-//! command line without depending on the full simulator fault model.
+//! timeouts, retry-with-backoff, and (with `kill=`) whole-process
+//! crash recovery. The plan is a tiny spec string
+//! (`panics=N,slow=MS,kill=AFTER_MS`) so the serve daemon can accept
+//! it on the command line without depending on the full simulator
+//! fault model.
 
 /// A host fault plan: fail the first `panic_attempts` executions of
-/// each job, and add `slow_ms` of artificial latency to every
-/// execution.
+/// each job, add `slow_ms` of artificial latency to every execution,
+/// and — the nuclear option — abort the whole process `kill_after_ms`
+/// milliseconds after the first job starts running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HostFaultPlan {
     /// Number of leading attempts per job that panic (0 = never).
     pub panic_attempts: u32,
     /// Milliseconds of sleep added to every execution (0 = none).
     pub slow_ms: u64,
+    /// Milliseconds after the first execution begins at which the
+    /// whole process aborts, `SIGKILL`-style — no unwinding, no drain,
+    /// no journal flush beyond what is already durable (0 = never).
+    /// Exercises the journal-replay / checkpoint-resume recovery path.
+    pub kill_after_ms: u64,
 }
 
 impl HostFaultPlan {
-    /// Parse `panics=N,slow=MS` (either key optional; empty string is
-    /// the no-op plan).
+    /// Parse `panics=N,slow=MS,kill=AFTER_MS` (every key optional;
+    /// empty string is the no-op plan).
     pub fn parse(spec: &str) -> Result<HostFaultPlan, String> {
         let mut plan = HostFaultPlan::default();
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -33,7 +41,12 @@ impl HostFaultPlan {
             match key {
                 "panics" => plan.panic_attempts = n as u32,
                 "slow" => plan.slow_ms = n,
-                other => return Err(format!("host fault: unknown key {other:?} (panics|slow)")),
+                "kill" => plan.kill_after_ms = n,
+                other => {
+                    return Err(format!(
+                        "host fault: unknown key {other:?} (panics|slow|kill)"
+                    ))
+                }
             }
         }
         Ok(plan)
@@ -42,12 +55,15 @@ impl HostFaultPlan {
     /// Canonical spec string; `parse` of the result reproduces the
     /// plan.
     pub fn to_spec(&self) -> String {
-        format!("panics={},slow={}", self.panic_attempts, self.slow_ms)
+        format!(
+            "panics={},slow={},kill={}",
+            self.panic_attempts, self.slow_ms, self.kill_after_ms
+        )
     }
 
     /// Whether the plan has any effect.
     pub fn is_empty(&self) -> bool {
-        self.panic_attempts == 0 && self.slow_ms == 0
+        self.panic_attempts == 0 && self.slow_ms == 0 && self.kill_after_ms == 0
     }
 }
 
@@ -57,15 +73,24 @@ mod tests {
 
     #[test]
     fn parses_and_round_trips() {
-        let plan = HostFaultPlan::parse("panics=2,slow=150").unwrap();
+        let plan = HostFaultPlan::parse("panics=2,slow=150,kill=900").unwrap();
         assert_eq!(
             plan,
             HostFaultPlan {
                 panic_attempts: 2,
-                slow_ms: 150
+                slow_ms: 150,
+                kill_after_ms: 900
             }
         );
         assert_eq!(HostFaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn kill_alone_is_a_nonempty_plan() {
+        let plan = HostFaultPlan::parse("kill=250").unwrap();
+        assert_eq!(plan.kill_after_ms, 250);
+        assert_eq!(plan.panic_attempts, 0);
+        assert!(!plan.is_empty());
     }
 
     #[test]

@@ -722,7 +722,10 @@ fn fields_in_body(tokens: &[Token], open: usize) -> Vec<FieldDecl> {
                     col: t.col,
                 });
                 // Skip the type to the field-separating comma at depth 0
-                // (angle brackets and parens both nest).
+                // (angle brackets and parens both nest). The lexer
+                // fuses `>>`/`<<` into shift operators, which in type
+                // position are really two nested angle closes — e.g.
+                // `Option<Box<T>>` — so they count double here.
                 let mut angle = 0i32;
                 let mut paren = 0i32;
                 let mut j = i + 2;
@@ -730,6 +733,8 @@ fn fields_in_body(tokens: &[Token], open: usize) -> Vec<FieldDecl> {
                     match tokens[j].tok {
                         Tok::Punct('<') => angle += 1,
                         Tok::Punct('>') => angle -= 1,
+                        Tok::Op("<<") => angle += 2,
+                        Tok::Op(">>") => angle -= 2,
                         Tok::Punct('(') => paren += 1,
                         Tok::Punct(')') => paren -= 1,
                         Tok::Punct(',') if angle <= 0 && paren <= 0 => break,
@@ -926,6 +931,27 @@ mod tests {
         assert!(!contains_word("unfreeze", "freeze"));
         assert!(!contains_word("flip=", "flips"));
         assert!(!contains_word("seeded", "seed"));
+    }
+
+    #[test]
+    fn struct_fields_survive_fused_shift_tokens_in_types() {
+        // `Option<Box<T>>` ends in a `>>` the lexer fuses into one
+        // shift token; the angle-depth tracker must count it as two
+        // closes or every field after it silently vanishes from D005.
+        let src = r#"
+struct M {
+    config: Config,
+    sanitizer: Option<Box<Sanitizer>>,
+    profiler: Option<ProfSink>,
+    faults: Option<FaultState>,
+}
+"#;
+        let fields: Vec<String> = struct_fields(&lex(src), "M")
+            .expect("struct found")
+            .into_iter()
+            .map(|f| f.name)
+            .collect();
+        assert_eq!(fields, ["config", "sanitizer", "profiler", "faults"]);
     }
 
     #[test]

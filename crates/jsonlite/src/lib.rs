@@ -15,6 +15,8 @@
 //! and serialized forms are deterministic — a property the
 //! content-addressed result cache in `mosaic-serve` relies on.
 
+pub mod frame;
+
 use std::fmt::Write as _;
 
 /// A JSON value in the workspace subset grammar.

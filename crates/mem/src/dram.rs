@@ -14,6 +14,7 @@
 //! Timing parameters are expressed in core cycles (1.5 GHz), already
 //! scaled from the 1.0 GHz DRAM clock.
 
+use crate::snap::{expect_consumed, put_u32, put_u64, put_u8, take_u32, take_u64, take_u8};
 use crate::Cycle;
 use std::collections::HashMap;
 
@@ -190,6 +191,83 @@ impl DramModel {
         (self.row_hits, self.row_misses)
     }
 
+    /// Serialize functional contents, bank/bus timing state, and
+    /// counters to canonical little-endian bytes. The sparse word map
+    /// is emitted **sorted by word index** so equal states always
+    /// produce identical bytes regardless of `HashMap` iteration
+    /// order. Injected spike windows are *not* captured: they are
+    /// scheduled faults reinstalled from the fault plan at machine
+    /// construction, not accumulated state.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 12 + self.banks.len() * 17 + 48);
+        let mut sorted: Vec<(u64, u32)> = self.words.iter().map(|(&k, &v)| (k, v)).collect();
+        sorted.sort_unstable_by_key(|&(k, _)| k);
+        put_u64(&mut out, sorted.len() as u64);
+        for (k, v) in sorted {
+            put_u64(&mut out, k);
+            put_u32(&mut out, v);
+        }
+        put_u64(&mut out, self.banks.len() as u64);
+        for b in &self.banks {
+            match b.open_row {
+                Some(row) => {
+                    put_u8(&mut out, 1);
+                    put_u64(&mut out, row);
+                }
+                None => {
+                    put_u8(&mut out, 0);
+                    put_u64(&mut out, 0);
+                }
+            }
+            put_u64(&mut out, b.next_free);
+        }
+        put_u64(&mut out, self.bus_next_free);
+        put_u64(&mut out, self.reads);
+        put_u64(&mut out, self.writes);
+        put_u64(&mut out, self.row_hits);
+        put_u64(&mut out, self.row_misses);
+        out
+    }
+
+    /// Restore state captured by [`DramModel::snapshot`] onto a model
+    /// with the same channel geometry. Spike windows on `self` are
+    /// preserved (they come from the fault plan, not the snapshot).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = bytes;
+        let n = take_u64(&mut r)? as usize;
+        let mut words = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = take_u64(&mut r)?;
+            let v = take_u32(&mut r)?;
+            words.insert(k, v);
+        }
+        let banks = take_u64(&mut r)? as usize;
+        if banks != self.banks.len() {
+            return Err(format!(
+                "DRAM snapshot has {banks} banks, this channel has {}",
+                self.banks.len()
+            ));
+        }
+        for b in &mut self.banks {
+            let open = take_u8(&mut r)?;
+            let row = take_u64(&mut r)?;
+            b.open_row = match open {
+                0 => None,
+                1 => Some(row),
+                other => return Err(format!("bad DRAM open-row flag {other}")),
+            };
+            b.next_free = take_u64(&mut r)?;
+        }
+        self.bus_next_free = take_u64(&mut r)?;
+        self.reads = take_u64(&mut r)?;
+        self.writes = take_u64(&mut r)?;
+        self.row_hits = take_u64(&mut r)?;
+        self.row_misses = take_u64(&mut r)?;
+        expect_consumed(r, "DRAM")?;
+        self.words = words;
+        Ok(())
+    }
+
     /// Reset timing and counters, preserving contents.
     pub fn reset_timing(&mut self) {
         for b in &mut self.banks {
@@ -294,6 +372,55 @@ mod tests {
         // Outside the window (spikes survive reset_timing, but this
         // access starts at 200 > end): normal latency again.
         assert_eq!(d.access(0, 200, false), 200 + miss_latency);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_is_canonical() {
+        let mut d = DramModel::default();
+        // Insert in two different orders; snapshots must still match
+        // byte-for-byte (sorted emission hides HashMap iteration order).
+        for off in [0x100u64, 0x4, 0x2000, 0x40] {
+            d.poke(off, off as u32 + 1);
+        }
+        d.access(0, 0, false);
+        d.access(64, 10, true);
+        let mut d2 = DramModel::default();
+        for off in [0x2000u64, 0x40, 0x100, 0x4] {
+            d2.poke(off, off as u32 + 1);
+        }
+        d2.access(0, 0, false);
+        d2.access(64, 10, true);
+        assert_eq!(d.snapshot(), d2.snapshot());
+
+        let mut fresh = DramModel::default();
+        fresh.restore(&d.snapshot()).unwrap();
+        assert_eq!(fresh.snapshot(), d.snapshot());
+        assert_eq!(fresh.peek(0x2000), 0x2001);
+        assert_eq!(fresh.traffic(), (1, 1));
+        // Timing state carried: the next access sees the same queueing.
+        assert_eq!(fresh.access(0, 0, false), d.access(0, 0, false));
+    }
+
+    #[test]
+    fn restore_keeps_injected_spikes_and_rejects_bad_geometry() {
+        let mut d = DramModel::default();
+        d.poke(0, 9);
+        let snap = d.snapshot();
+        let mut target = DramModel::default();
+        target.inject_spike(0, 100, 40);
+        target.restore(&snap).unwrap();
+        let cfg = target.config().clone();
+        let miss = cfg.t_rcd + cfg.t_cas + cfg.t_bl;
+        // The spike window survives restore (faults come from the
+        // plan, not the snapshot).
+        assert_eq!(target.access(0, 0, false), 40 + miss);
+
+        let narrow_cfg = DramConfig {
+            banks: 4,
+            ..DramConfig::default()
+        };
+        assert!(DramModel::new(narrow_cfg).restore(&snap).is_err());
+        assert!(DramModel::default().restore(&snap[..5]).is_err());
     }
 
     #[test]

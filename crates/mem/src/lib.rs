@@ -37,6 +37,7 @@ pub mod addr;
 pub mod amo;
 pub mod dram;
 pub mod llc;
+pub(crate) mod snap;
 pub mod spm;
 
 pub use addr::{Addr, AddrMap, Region};

@@ -237,6 +237,58 @@ impl Mesh {
         self.next_free.fill(0);
         self.flits_carried.fill(0);
     }
+
+    /// Serialize per-link reservation state and flit counters to
+    /// canonical little-endian bytes: link count, then every link's
+    /// `next_free`, then every link's `flits_carried`. Topology and
+    /// `hop_latency` are construction-time constants and injected stall
+    /// windows are scheduled faults reinstalled from the fault plan at
+    /// machine construction, so neither is captured.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.next_free.len() * 16);
+        out.extend_from_slice(&(self.next_free.len() as u64).to_le_bytes());
+        for &c in &self.next_free {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for &f in &self.flits_carried {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restore state captured by [`Mesh::snapshot`] onto a mesh of the
+    /// same topology. Stall windows on `self` are preserved.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = bytes;
+        let mut take = |what: &str| -> Result<u64, String> {
+            if r.len() < 8 {
+                return Err(format!("mesh snapshot truncated ({what})"));
+            }
+            let (head, rest) = r.split_at(8);
+            r = rest;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(head);
+            Ok(u64::from_le_bytes(b))
+        };
+        let links = take("link count")? as usize;
+        if links != self.next_free.len() {
+            return Err(format!(
+                "mesh snapshot has {links} links, this mesh has {}",
+                self.next_free.len()
+            ));
+        }
+        for i in 0..links {
+            self.next_free[i] = take("next_free")?;
+        }
+        for i in 0..links {
+            self.flits_carried[i] = take("flits_carried")?;
+        }
+        if r.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("mesh: {} unconsumed snapshot bytes", r.len()))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +413,44 @@ mod tests {
             batched.link_stats().total_flits()
         );
         assert_eq!(split.probe(src, dst, 0, 1), batched.probe(src, dst, 0, 1));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_reservations() {
+        let mut m = small();
+        let src = m.config().core_node(0);
+        let dst = m.config().core_node(14);
+        m.traverse(src, dst, 0, 8);
+        m.traverse(dst, src, 5, 2);
+        let snap = m.snapshot();
+        let mut fresh = small();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.snapshot(), snap);
+        assert_eq!(
+            fresh.link_stats().total_flits(),
+            m.link_stats().total_flits()
+        );
+        // Congestion carries over: the next packet queues identically.
+        assert_eq!(fresh.traverse(src, dst, 1, 4), m.traverse(src, dst, 1, 4));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_topology_and_keeps_stalls() {
+        let mut m = small();
+        let snap = m.snapshot();
+        let mut bigger = Mesh::new(MeshConfig::new(8, 8, 0));
+        assert!(bigger.restore(&snap).is_err());
+        assert!(m.restore(&snap[..snap.len() - 3]).is_err());
+        // Stall windows survive restore (scheduled faults, not state).
+        let mut stalled = small();
+        let src = stalled.config().core_node(0);
+        let dst = stalled.config().core_node(3);
+        let base = stalled.probe(src, dst, 0, 1);
+        for l in 0..stalled.link_count() {
+            stalled.inject_link_stall(l, 0, 50);
+        }
+        stalled.restore(&snap).unwrap();
+        assert_eq!(stalled.probe(src, dst, 0, 1), 50 + base);
     }
 
     #[test]

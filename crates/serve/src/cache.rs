@@ -30,9 +30,23 @@ impl ResultCache {
     /// A cache persisting under `dir` (`None` = memory-only, used by
     /// tests). The directory is created eagerly so a misconfigured
     /// path fails at startup, not on the first completed job.
+    ///
+    /// Stray `*.tmp-<pid>` files — the half-written residue of a
+    /// daemon killed between its temp write and its rename — are
+    /// garbage-collected here. They were never reachable as cache
+    /// entries (lookups only read `<digest>.json`), so this is purely
+    /// reclaiming disk; best-effort by design.
     pub fn new(dir: Option<PathBuf>) -> std::io::Result<ResultCache> {
         if let Some(d) = &dir {
             std::fs::create_dir_all(d)?;
+            if let Ok(entries) = std::fs::read_dir(d) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    if name.to_string_lossy().contains(".tmp-") {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
         }
         Ok(ResultCache {
             dir,
@@ -156,6 +170,27 @@ mod tests {
         let c2 = ResultCache::new(Some(dir.clone())).unwrap();
         assert_eq!(c2.lookup(&d).as_deref(), Some("payload-text"));
         assert_eq!(c2.hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_tmp_files_are_collected_and_never_served() {
+        let dir = tmp_dir("straytmp");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = JobSpec::new("table1", "tiny");
+        let d = spec.digest();
+        // The residue of a daemon killed mid-insert: a half-written
+        // temp entry that never got renamed into place.
+        let stray = dir.join(format!("{d}.tmp-99999"));
+        std::fs::write(&stray, "{\"digest\":\"torn").unwrap();
+        let c = ResultCache::new(Some(dir.clone())).unwrap();
+        assert_eq!(c.lookup(&d), None, "a temp file must never be served");
+        assert!(!stray.exists(), "startup must GC the stray temp file");
+        // A real insert over the same digest works normally afterwards.
+        c.insert(&d, &spec, "good-payload");
+        let c2 = ResultCache::new(Some(dir.clone())).unwrap();
+        assert_eq!(c2.lookup(&d).as_deref(), Some("good-payload"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

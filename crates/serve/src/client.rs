@@ -62,6 +62,21 @@ impl Client {
     /// window where a daemon is still binding its listener — or was
     /// just restarted by a supervisor — without hammering it.
     pub fn connect_with_retry(addr: &str, policy: &RetryPolicy) -> std::io::Result<Client> {
+        Client::connect_with_deadline(addr, policy, std::time::Duration::MAX)
+    }
+
+    /// Like [`Client::connect_with_retry`], but additionally bounded
+    /// by an `overall` wall-clock budget: once a backoff sleep would
+    /// cross the deadline the attempt loop gives up immediately with
+    /// the last error, so a supervisor restarting a crashed daemon can
+    /// cap how long clients hang on it (`--connect-timeout-ms`). The
+    /// first attempt is always made, even with a zero budget.
+    pub fn connect_with_deadline(
+        addr: &str,
+        policy: &RetryPolicy,
+        overall: std::time::Duration,
+    ) -> std::io::Result<Client> {
+        let start = std::time::Instant::now();
         let max_attempts = policy.max_attempts.max(1);
         let mut last_err = None;
         for attempt in 1..=max_attempts {
@@ -70,7 +85,17 @@ impl Client {
                 Err(e) => {
                     last_err = Some(e);
                     if attempt < max_attempts {
-                        std::thread::sleep(policy.backoff(addr, attempt));
+                        let backoff = policy.backoff(addr, attempt);
+                        // `checked_add` so `Duration::MAX` means "no
+                        // deadline" instead of an overflow panic.
+                        let would_elapse = start
+                            .elapsed()
+                            .checked_add(backoff)
+                            .unwrap_or(std::time::Duration::MAX);
+                        if would_elapse >= overall {
+                            break;
+                        }
+                        std::thread::sleep(backoff);
                     }
                 }
             }

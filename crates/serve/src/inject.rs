@@ -1,5 +1,5 @@
 //! Host-side fault injection: an [`Executor`] decorator that makes the
-//! inner executor panic or stall on purpose.
+//! inner executor panic, stall, or kill the whole process on purpose.
 //!
 //! This is the serve-stack half of the chaos story (the simulator half
 //! lives in `mosaic-chaos` / `mosaic-sim`): wrap the real executor in a
@@ -25,8 +25,8 @@ use std::time::Duration;
 
 use crate::sync::lock;
 
-/// Executor decorator injecting panics and slowness ahead of the inner
-/// executor.
+/// Executor decorator injecting panics, slowness, and whole-process
+/// kills ahead of the inner executor.
 pub struct FaultyExecutor {
     inner: Arc<dyn Executor>,
     /// Panic this many leading attempts of each distinct job id.
@@ -34,6 +34,11 @@ pub struct FaultyExecutor {
     /// Sleep this long (in small cancellable slices) before every
     /// attempt that is allowed to proceed.
     slow: Duration,
+    /// Abort the whole process this long after the first attempt
+    /// begins (`None` = never). See [`FaultyExecutor::kill_after`].
+    kill_after: Option<Duration>,
+    /// Whether the kill timer has been armed (first `run` call wins).
+    kill_armed: AtomicBool,
     attempts: Mutex<HashMap<String, u32>>,
 }
 
@@ -45,13 +50,53 @@ impl FaultyExecutor {
             inner,
             panic_attempts,
             slow,
+            kill_after: None,
+            kill_armed: AtomicBool::new(false),
             attempts: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Arm a process-kill fault: `delay` after the **first** attempt
+    /// begins, a detached timer thread calls [`std::process::abort`] —
+    /// the closest pure-std stand-in for an external `kill -9`. No
+    /// destructors, no `catch_unwind`, no drain: whatever the journal
+    /// and cache have already fsynced is all the next process gets.
+    ///
+    /// Anchored to the first attempt (not process start) so the killed
+    /// job is guaranteed to be past its `started` journal record —
+    /// the recovery harness then asserts `worker_deaths > 0` on
+    /// restart rather than racing daemon startup.
+    pub fn kill_after(mut self, delay: Duration) -> FaultyExecutor {
+        self.kill_after = (!delay.is_zero()).then_some(delay);
+        self
     }
 
     /// Attempts seen so far for `id` (test/metrics introspection).
     pub fn attempts_for(&self, id: &str) -> u32 {
         lock(&self.attempts).get(id).copied().unwrap_or(0)
+    }
+
+    fn arm_kill_timer(&self) {
+        let Some(delay) = self.kill_after else {
+            return;
+        };
+        if self
+            .kill_armed
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+        {
+            return;
+        }
+        eprintln!(
+            "chaos: kill timer armed: aborting the process in {} ms",
+            delay.as_millis()
+        );
+        let _ = std::thread::Builder::new()
+            .name("chaos-kill".to_string())
+            .spawn(move || {
+                std::thread::sleep(delay);
+                eprintln!("chaos: injected process kill (abort)");
+                std::process::abort();
+            });
     }
 }
 
@@ -62,6 +107,7 @@ impl Executor for FaultyExecutor {
         progress: &dyn Fn(u64, u64, &str),
         cancelled: &AtomicBool,
     ) -> Result<String, String> {
+        self.arm_kill_timer();
         let id = spec.digest();
         let attempt = {
             let mut g = lock(&self.attempts);
@@ -170,6 +216,24 @@ mod tests {
         let flag = AtomicBool::new(true);
         let err = faulty.run(&spec, &|_, _, _| {}, &flag).unwrap_err();
         assert!(err.contains("cancelled"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn zero_kill_delay_disarms_the_timer() {
+        // `kill=0` is the documented "never" spelling; the builder must
+        // not arm a timer that aborts the test process immediately.
+        let faulty =
+            FaultyExecutor::new(Arc::new(Echo), 0, Duration::ZERO).kill_after(Duration::ZERO);
+        assert!(faulty.kill_after.is_none());
+        let flag = AtomicBool::new(false);
+        let out = faulty
+            .run(&JobSpec::new("table1", "tiny"), &|_, _, _| {}, &flag)
+            .unwrap();
+        assert!(out.contains("table1"));
+        assert!(
+            !faulty.kill_armed.load(Ordering::Relaxed),
+            "no delay means nothing to arm"
+        );
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub struct JobSpec {
     /// thread counts are the same computation and must share a cache
     /// entry (asserted by `digest_ignores_host_threads`).
     pub host_threads: usize,
+    /// Checkpoint cadence in simulated cycles
+    /// (`MachineConfig::checkpoint_every`); 0 = no checkpoints. Like
+    /// `host_threads`, a host-side durability knob that rides the wire
+    /// but is **excluded from the digest**: checkpoint writes are
+    /// observationally free — the engine pops the same events and
+    /// produces byte-identical results at every cadence (asserted by
+    /// `digest_ignores_checkpoint_every`).
+    pub checkpoint_every: u64,
     /// Backend fidelity: `""`/`"cycle"` (cycle-accurate default),
     /// `"analytic"` (the calibrated model), or `"auto"` (the scheduler
     /// resolves it against its calibration table before the digest is
@@ -71,6 +79,7 @@ impl JobSpec {
             sanitize: false,
             faults: String::new(),
             host_threads: 1,
+            checkpoint_every: 0,
             fidelity: String::new(),
         }
     }
@@ -108,6 +117,7 @@ impl JobSpec {
             .field("faults", self.faults.as_str())
             .field("fidelity", self.fidelity.as_str())
             .field("host_threads", self.host_threads as u64)
+            .field("checkpoint_every", self.checkpoint_every)
             .build()
     }
 
@@ -135,6 +145,12 @@ impl JobSpec {
                 Some(h) => (h.as_u64()? as usize).max(1),
                 None => 1,
             },
+            // Absent in specs from before crash durability existed:
+            // no checkpoints, exactly as those clients ran.
+            checkpoint_every: match obj.opt("checkpoint_every") {
+                Some(c) => c.as_u64()?,
+                None => 0,
+            },
             // Absent in specs from before the dual-fidelity backends:
             // cycle-accurate, exactly as those clients ran.
             fidelity: match obj.opt("fidelity") {
@@ -147,7 +163,8 @@ impl JobSpec {
     /// Stable content digest: FNV-1a/64 over the canonical JSON form,
     /// as 16 lowercase hex digits. Used as the job id, the cache key,
     /// and the on-disk cache file name. Host-side knobs that cannot
-    /// affect results (`host_threads`) are not part of it.
+    /// affect results (`host_threads`, `checkpoint_every`) are not
+    /// part of it.
     pub fn digest(&self) -> String {
         format!("{:016x}", fnv1a64(self.canonical_json().write().as_bytes()))
     }
@@ -262,6 +279,7 @@ mod tests {
         s.sanitize = true;
         s.faults = "seed=3,horizon=5000,freeze=2x100".into();
         s.host_threads = 4;
+        s.checkpoint_every = 50_000;
         s.fidelity = "analytic".into();
         assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
     }
@@ -282,6 +300,27 @@ mod tests {
             "wire form still carries it"
         );
         assert_eq!(JobSpec::from_json(&b.to_json()).unwrap().host_threads, 4);
+    }
+
+    #[test]
+    fn digest_ignores_checkpoint_every() {
+        // Checkpoint writes never change what the engine computes, so
+        // a checkpointed run must share its cache entry with the plain
+        // one — a crash-recovered sweep then converges onto the exact
+        // payloads the uninterrupted run would have cached.
+        let a = JobSpec::new("table1", "tiny");
+        let mut b = a.clone();
+        b.checkpoint_every = 10_000;
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(
+            a.to_json().write(),
+            b.to_json().write(),
+            "wire form still carries it"
+        );
+        assert_eq!(
+            JobSpec::from_json(&b.to_json()).unwrap().checkpoint_every,
+            10_000
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   simulation output, so content addressing is sound).
 //! - [`cache`] — two-tier (memory + `results/cache/<digest>.json`)
 //!   result cache with hit/miss counters.
+//! - [`journal`] — crash-safe append-only job journal
+//!   (`results/journal/journal.mlog`): a killed daemon replays it on
+//!   restart, re-admits the jobs it lost, and converges to the same
+//!   byte-identical results as an uninterrupted run.
 //! - [`scheduler`] — bounded FIFO queue with typed `overloaded`
 //!   admission control, a worker pool sized like `mosaic-bench`'s
 //!   sweep pool (`workers × host_threads_per_run ≤ host cores`),
@@ -35,6 +39,7 @@ pub mod cache;
 pub mod client;
 pub mod inject;
 pub mod job;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
@@ -45,6 +50,7 @@ pub use cache::ResultCache;
 pub use client::{Client, ResultReply, SubmitReply};
 pub use inject::FaultyExecutor;
 pub use job::{JobSpec, JobState};
+pub use journal::{Journal, Replay, ReplayJob};
 pub use metrics::Metrics;
 pub use protocol::Request;
 pub use scheduler::{Executor, JobRecord, JobView, RetryPolicy, SchedConfig, Scheduler, Submit};

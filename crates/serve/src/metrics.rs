@@ -27,8 +27,12 @@ pub struct Metrics {
     /// Failed attempts that were retried under the retry policy.
     pub retries: AtomicU64,
     /// Job threads that died without delivering a result (distinct
-    /// from timeouts and executor errors).
+    /// from timeouts and executor errors). Also counts jobs a journal
+    /// replay found mid-run at a crash: the whole process was their
+    /// worker, and it died under them.
     pub worker_deaths: AtomicU64,
+    /// Jobs re-admitted from the crash journal at startup.
+    pub replayed_jobs: AtomicU64,
     /// `auto` submissions the calibration table let the analytic
     /// backend answer (fast mode).
     pub fast_jobs: AtomicU64,
@@ -141,6 +145,7 @@ impl Metrics {
             .field("cancelled", self.cancelled.load(Ordering::Relaxed))
             .field("retries", self.retries.load(Ordering::Relaxed))
             .field("worker_deaths", self.worker_deaths.load(Ordering::Relaxed))
+            .field("replayed_jobs", self.replayed_jobs.load(Ordering::Relaxed))
             .field("fast_jobs", self.fast_jobs.load(Ordering::Relaxed))
             .field("escalations", self.escalations.load(Ordering::Relaxed))
             .field("cache_hits", cache_hits)

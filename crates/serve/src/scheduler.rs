@@ -69,6 +69,10 @@ pub struct SchedConfig {
     /// scheduler still answers analytically; `auto` jobs over it are
     /// escalated to the cycle-accurate backend.
     pub escalate_bound_ppm: u64,
+    /// Crash-safety journal ([`crate::journal`]). `None` (the default)
+    /// journals nothing; the server opens one, replays it, and passes
+    /// the handle in so every lifecycle transition is durably logged.
+    pub journal: Option<Arc<crate::journal::Journal>>,
 }
 
 impl Default for SchedConfig {
@@ -80,6 +84,7 @@ impl Default for SchedConfig {
             retry: RetryPolicy::default(),
             calibration: None,
             escalate_bound_ppm: 100_000,
+            journal: None,
         }
     }
 }
@@ -383,6 +388,9 @@ impl Scheduler {
         g.jobs.insert(id, Arc::clone(&record));
         g.queue.push_back(Arc::clone(&record));
         self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        if let Some(j) = &self.cfg.journal {
+            j.record_admitted(&record.id, &record.spec);
+        }
         self.work_cv.notify_one();
         Submit::Enqueued(record)
     }
@@ -407,6 +415,9 @@ impl Scheduler {
                 record.request_cancel();
                 record.set_state(|v| v.state = JobState::Cancelled);
                 self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                if let Some(j) = &self.cfg.journal {
+                    j.record_cancelled(id);
+                }
                 Some(JobState::Cancelled)
             }
             JobState::Running => {
@@ -482,6 +493,9 @@ impl Scheduler {
     /// timeout, and bounded retries, then publish its terminal state.
     fn run_one(&self, job: &Arc<JobRecord>) {
         job.set_state(|v| v.state = JobState::Running);
+        if let Some(j) = &self.cfg.journal {
+            j.record_started(&job.id);
+        }
         let max_attempts = self.cfg.retry.max_attempts.max(1);
         let mut last_err = String::new();
         for attempt in 1..=max_attempts {
@@ -498,6 +512,11 @@ impl Scheduler {
                     self.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
                     self.metrics
                         .observe_latency(&job.spec.fidelity, job.enqueued_at.elapsed());
+                    // Terminal with no payload: journal it as a failed
+                    // completion so a restart never re-burns the budget.
+                    if let Some(j) = &self.cfg.journal {
+                        j.record_completed(&job.id, false);
+                    }
                     job.set_state(|v| v.state = JobState::TimedOut);
                     return;
                 }
@@ -514,13 +533,21 @@ impl Scheduler {
                 self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
                 self.metrics
                     .observe_latency(&job.spec.fidelity, job.enqueued_at.elapsed());
+                if let Some(j) = &self.cfg.journal {
+                    j.record_cancelled(&job.id);
+                }
                 job.set_state(|v| v.state = JobState::Cancelled);
                 return;
             }
             match outcome {
                 Ok(payload) => {
                     self.metrics.absorb_profile(&payload);
+                    // Cache before journal: once `completed` is durable,
+                    // a restart will trust the cache to have the bytes.
                     self.cache.insert(&job.id, &job.spec, &payload);
+                    if let Some(j) = &self.cfg.journal {
+                        j.record_completed(&job.id, true);
+                    }
                     self.metrics.completed.fetch_add(1, Ordering::Relaxed);
                     self.metrics
                         .observe_latency(&job.spec.fidelity, job.enqueued_at.elapsed());
@@ -552,6 +579,9 @@ impl Scheduler {
         self.metrics.failed.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .observe_latency(&job.spec.fidelity, job.enqueued_at.elapsed());
+        if let Some(j) = &self.cfg.journal {
+            j.record_completed(&job.id, false);
+        }
         job.set_state(|v| {
             v.state = JobState::Failed;
             v.error = Some(last_err);
@@ -564,13 +594,19 @@ impl Scheduler {
         {
             let job = Arc::clone(job);
             let executor = Arc::clone(&self.executor);
+            let journal = self.cfg.journal.clone();
             std::thread::Builder::new()
                 .name(format!("serve-job-{}", job.id))
                 .spawn(move || {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         executor.run(
                             &job.spec,
-                            &|done, total, msg| job.push_event(done, total, msg),
+                            &|done, total, msg| {
+                                if let Some(j) = &journal {
+                                    j.record_progress(&job.id, done, total);
+                                }
+                                job.push_event(done, total, msg);
+                            },
                             &job.cancelled,
                         )
                     }))

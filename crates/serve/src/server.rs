@@ -26,6 +26,11 @@ pub struct ServerConfig {
     pub sched: SchedConfig,
     /// On-disk result cache directory (`None` = memory-only).
     pub cache_dir: Option<PathBuf>,
+    /// Crash-safety journal directory (`None` = no journal; a kill
+    /// loses queued/running jobs). On start the journal is replayed
+    /// and unfinished jobs are re-admitted before the listener binds,
+    /// so clients never observe the half-recovered state.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +39,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:9118".to_string(),
             sched: SchedConfig::default(),
             cache_dir: Some(PathBuf::from("results/cache")),
+            journal_dir: Some(PathBuf::from("results/journal")),
         }
     }
 }
@@ -41,15 +47,58 @@ impl Default for ServerConfig {
 /// A running server: scheduler plus accept thread.
 pub struct Server {
     sched: Arc<Scheduler>,
+    journal: Option<Arc<crate::journal::Journal>>,
     local_addr: SocketAddr,
     accept: std::sync::Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Server {
     /// Bind, start the worker pool, and begin accepting connections.
+    ///
+    /// With a `journal_dir`, the previous process's journal is
+    /// replayed first: jobs it admitted but never finished are
+    /// re-submitted through the normal admission path (where the
+    /// result cache absorbs anything whose payload survived), counted
+    /// in `replayed_jobs`, and jobs the crash caught mid-run also
+    /// count as `worker_deaths`. All of that happens before the
+    /// listener binds.
     pub fn start(cfg: ServerConfig, executor: Arc<dyn Executor>) -> std::io::Result<Server> {
         let cache = crate::cache::ResultCache::new(cfg.cache_dir.clone())?;
-        let sched = Scheduler::start(cfg.sched.clone(), cache, executor);
+        let mut sched_cfg = cfg.sched.clone();
+        let mut journal = None;
+        let mut replay = None;
+        if let Some(dir) = &cfg.journal_dir {
+            let (j, r) = crate::journal::Journal::open(dir)?;
+            let j = Arc::new(j);
+            sched_cfg.journal = Some(Arc::clone(&j));
+            journal = Some(j);
+            replay = Some(r);
+        }
+        let sched = Scheduler::start(sched_cfg, cache, executor);
+        if let Some(r) = replay {
+            if !r.clean && (r.records > 0 || r.torn_bytes > 0) {
+                eprintln!(
+                    "serve: journal replay: {} records, {} unfinished jobs re-admitted, \
+                     {} torn bytes discarded",
+                    r.records,
+                    r.pending.len(),
+                    r.torn_bytes
+                );
+            }
+            for job in r.pending {
+                if job.started {
+                    sched
+                        .metrics
+                        .worker_deaths
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                sched
+                    .metrics
+                    .replayed_jobs
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let _ = sched.submit(job.spec);
+            }
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -60,6 +109,7 @@ impl Server {
             .expect("spawn accept thread");
         Ok(Server {
             sched,
+            journal,
             local_addr,
             accept: std::sync::Mutex::new(Some(handle)),
         })
@@ -82,9 +132,14 @@ impl Server {
     }
 
     /// Block until a requested drain completes and the accept thread
-    /// exits; joins the worker pool.
+    /// exits; joins the worker pool. A completed drain is marked
+    /// `drained-clean` in the journal, so the next start knows there
+    /// is nothing to replay.
     pub fn join(&self) {
         self.sched.wait_drained();
+        if let Some(j) = &self.journal {
+            j.record_drained_clean();
+        }
         if let Some(h) = lock(&self.accept).take() {
             let _ = h.join();
         }

@@ -59,6 +59,7 @@ fn start(queue_cap: usize, workers: usize, timeout_ms: u64) -> Server {
             ..SchedConfig::default()
         },
         cache_dir: None,
+        journal_dir: None,
     };
     Server::start(cfg, Arc::new(TestExec)).expect("start server")
 }
@@ -306,6 +307,7 @@ fn injected_host_panics_recover_through_the_retry_policy() {
             ..SchedConfig::default()
         },
         cache_dir: None,
+        journal_dir: None,
     };
     let faulty = FaultyExecutor::new(Arc::new(TestExec), 2, Duration::from_millis(10));
     let server = Server::start(cfg, Arc::new(faulty)).expect("start server");
@@ -342,6 +344,29 @@ fn connect_with_retry_gives_up_after_the_budget() {
         max_backoff: Duration::from_millis(2),
     };
     assert!(Client::connect_with_retry(&addr, &policy).is_err());
+}
+
+#[test]
+fn connect_deadline_caps_the_retry_budget() {
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    // A policy that would retry for many seconds, capped to ~30 ms
+    // overall: the deadline, not the attempt count, must win.
+    let policy = RetryPolicy {
+        max_attempts: 50,
+        base_backoff: Duration::from_millis(400),
+        max_backoff: Duration::from_secs(2),
+    };
+    let started = Instant::now();
+    let result = Client::connect_with_deadline(&addr, &policy, Duration::from_millis(30));
+    assert!(result.is_err());
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "deadline must cut the retry loop short, took {:?}",
+        started.elapsed()
+    );
 }
 
 #[test]
@@ -400,6 +425,7 @@ fn auto_fidelity_answers_calibrated_jobs_fast_and_escalates_the_rest() {
             ..SchedConfig::default()
         },
         cache_dir: None,
+        journal_dir: None,
     };
     let server = Server::start(cfg, Arc::new(TestExec)).expect("start server");
     let mut client = connect(&server);
@@ -453,6 +479,62 @@ fn auto_fidelity_answers_calibrated_jobs_fast_and_escalates_the_rest() {
 
     client.shutdown().expect("shutdown");
     server.join();
+}
+
+#[test]
+fn journal_replay_readmits_killed_jobs_and_marks_clean_drains() {
+    // Fabricate a crashed daemon's journal: one job admitted and
+    // mid-run (the "process died under a worker" shape), one merely
+    // queued, one completed. A fresh server over that directory must
+    // re-admit exactly the two unfinished jobs, run them, count them
+    // in replayed_jobs (and the mid-run one in worker_deaths), and —
+    // after a graceful drain — leave a journal the next start
+    // considers clean.
+    let dir = std::env::temp_dir().join(format!("mosaic-serve-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (running, queued, done) = (
+        spec("echo", "", 101),
+        spec("echo", "", 102),
+        spec("echo", "", 103),
+    );
+    {
+        let (j, _) = mosaic_serve::Journal::open(&dir).expect("open journal");
+        j.record_admitted(&running.digest(), &running);
+        j.record_started(&running.digest());
+        j.record_admitted(&queued.digest(), &queued);
+        j.record_admitted(&done.digest(), &done);
+        j.record_completed(&done.digest(), true);
+        // No drained-clean: this is the kill.
+    }
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sched: SchedConfig {
+            queue_cap: 8,
+            workers: 1,
+            ..SchedConfig::default()
+        },
+        cache_dir: None,
+        journal_dir: Some(dir.clone()),
+    };
+    let server = Server::start(cfg.clone(), Arc::new(TestExec)).expect("start server");
+    let mut client = connect(&server);
+    assert_eq!(metric(&mut client, "replayed_jobs"), 2);
+    assert_eq!(metric(&mut client, "worker_deaths"), 1);
+    // The replayed jobs actually run to completion.
+    let reply = client.wait_result(&running.digest()).expect("result");
+    assert_eq!(reply.state, JobState::Done);
+    let reply = client.wait_result(&queued.digest()).expect("result");
+    assert_eq!(reply.state, JobState::Done);
+    server.request_shutdown();
+    server.join();
+    // The drain left a clean marker: a restart replays nothing.
+    let server2 = Server::start(cfg, Arc::new(TestExec)).expect("restart server");
+    let mut client2 = connect(&server2);
+    assert_eq!(metric(&mut client2, "replayed_jobs"), 0);
+    assert_eq!(metric(&mut client2, "worker_deaths"), 0);
+    server2.request_shutdown();
+    server2.join();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -68,6 +68,24 @@ pub struct MachineConfig {
     /// always simulates cycle-accurately; harnesses route through
     /// [`Backend`](crate::backend::Backend) based on this field.
     pub fidelity: Fidelity,
+    /// Checkpoint cadence in simulated cycles: the engine serializes
+    /// the machine at the first event boundary at or past every
+    /// multiple (see `crate::checkpoint`). `0` (the default) disables
+    /// checkpointing. A host durability knob like `host_threads`:
+    /// excluded from job digests, and every simulated number is
+    /// byte-identical whatever the cadence.
+    pub checkpoint_every: Cycle,
+    /// Directory checkpoint files are written into when
+    /// `checkpoint_every > 0` (created on demand; default
+    /// `results/checkpoints` when unset).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Verified-resume input: a checkpoint file from an earlier
+    /// (interrupted) run of the *same* job. The engine re-executes
+    /// deterministically from cycle zero and hard-fails with
+    /// [`SimError::CheckpointDivergence`](crate::SimError) unless
+    /// machine state at the recorded event boundary is byte-identical
+    /// to the file — chaos seeds make resume verifiable.
+    pub resume_from: Option<std::path::PathBuf>,
 }
 
 impl MachineConfig {
@@ -123,6 +141,9 @@ impl MachineConfig {
             faults: None,
             host_threads: 1,
             fidelity: Fidelity::Cycle,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume_from: None,
         }
     }
 
@@ -208,6 +229,14 @@ mod tests {
         assert!(c.validate().is_ok());
         c.host_threads = 0;
         assert!(c.validate().is_err(), "zero host threads is rejected");
+    }
+
+    #[test]
+    fn checkpointing_is_off_by_default() {
+        let c = MachineConfig::small(4, 2);
+        assert_eq!(c.checkpoint_every, 0);
+        assert!(c.checkpoint_dir.is_none());
+        assert!(c.resume_from.is_none());
     }
 
     #[test]

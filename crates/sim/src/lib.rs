@@ -57,6 +57,7 @@
 
 pub mod backend;
 pub mod calendar;
+pub mod checkpoint;
 pub mod config;
 pub mod counters;
 pub mod engine;
@@ -67,6 +68,7 @@ pub use backend::{
     BackendReport, CycleBackend, CycleOutcome, FamilyKey,
 };
 pub use calendar::CalendarQueue;
+pub use checkpoint::{CheckpointHeader, CHECKPOINT_VERSION};
 pub use config::MachineConfig;
 pub use counters::{CoreCounters, MachineCounters};
 pub use engine::{CoreApi, Engine, Report, SimError};
