@@ -12,6 +12,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
     opts.cycle_only("ablation_dealing");
+    opts.no_workload_filter("ablation_dealing");
     let mut benches: Vec<Box<dyn Benchmark>> = Vec::new();
     benches.extend(matmul::instances(opts.scale).into_iter().take(1));
     benches.extend(pagerank::instances(opts.scale).into_iter().skip(1).take(1));

@@ -11,6 +11,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
     opts.cycle_only("ablation_grain");
+    opts.no_workload_filter("ablation_grain");
     let m = MatrixKind::PowerLaw.generate(1024, 0x51);
     let n = m.n;
     let vals: Vec<f32> = (0..m.nnz())

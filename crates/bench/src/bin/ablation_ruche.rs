@@ -10,6 +10,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::parse(Scale::Small, 16, 8);
     opts.cycle_only("ablation_ruche");
+    opts.no_workload_filter("ablation_ruche");
     let ruches = [0u16, 2, 3, 4];
     let patterns = ["hotspot", "a2a"];
 

@@ -10,6 +10,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
     opts.cycle_only("ablation_victim");
+    opts.no_workload_filter("ablation_victim");
     let benches = uts::instances(opts.scale);
     let victims = [
         ("random", VictimPolicy::Random),

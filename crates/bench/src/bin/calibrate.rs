@@ -159,6 +159,7 @@ fn fit_spans(
 fn main() {
     let opts = Options::parse(Scale::Tiny, 4, 2);
     opts.cycle_only("calibrate");
+    opts.no_workload_filter("calibrate");
     let shapes = [
         (opts.cols, opts.rows),
         (opts.cols * 2, opts.rows * 2),

@@ -26,6 +26,7 @@ use mosaic_workloads::Scale;
 fn main() {
     let opts = Options::parse(Scale::Tiny, 4, 2);
     opts.cycle_only("chaos_sweep");
+    opts.no_workload_filter("chaos_sweep");
     if let Some(plan) = opts.faults.clone() {
         check_user_plan(&opts, &plan);
         return;

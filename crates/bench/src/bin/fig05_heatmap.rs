@@ -12,6 +12,7 @@ use mosaic_workloads::Scale;
 fn main() {
     let opts = Options::parse(Scale::Small, 16, 8);
     opts.cycle_only("fig05_heatmap");
+    opts.no_workload_filter("fig05_heatmap");
     let mut machine = Machine::new(opts.machine());
     machine.enable_latency_probe();
     let map = machine.addr_map().clone();

@@ -17,6 +17,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::parse(Scale::Small, 16, 8);
     opts.cycle_only("fig06_rd_duplication");
+    opts.no_workload_filter("fig06_rd_duplication");
     let n = match opts.scale {
         Scale::Tiny => 1024,
         Scale::Small => 8192,

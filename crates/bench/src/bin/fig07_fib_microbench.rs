@@ -13,6 +13,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
     opts.cycle_only("fig07_fib_microbench");
+    opts.no_workload_filter("fig07_fib_microbench");
     let n = match opts.scale {
         Scale::Tiny => 10,
         Scale::Small => 13,

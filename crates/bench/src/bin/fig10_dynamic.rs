@@ -11,6 +11,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4);
     opts.cycle_only("fig10_dynamic");
+    opts.no_workload_filter("fig10_dynamic");
     let ws_configs: Vec<(&str, RuntimeConfig)> = RuntimeConfig::table1_sweep()
         .into_iter()
         .filter(|(l, _)| l.starts_with("ws"))

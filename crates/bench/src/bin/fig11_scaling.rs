@@ -25,6 +25,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::parse(Scale::Small, 16, 8);
     opts.cycle_only("fig11_scaling");
+    opts.no_workload_filter("fig11_scaling");
     // Fixed inputs per the figure caption, scaled down.
     let benches: Vec<Box<dyn Benchmark>> = vec![
         Box::new(NQueens { n: 6 }),

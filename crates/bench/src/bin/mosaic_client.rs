@@ -17,7 +17,7 @@ fn usage() -> ! {
         "usage: mosaic-client [--addr HOST:PORT] [--connect-timeout-ms N] COMMAND\n\
          commands:\n  \
          submit EXPERIMENT [--scale tiny|small|full] [--cols N --rows N] [--sanitize] [--faults SPEC]\n                   \
-         [--fidelity cycle|analytic|auto] [--wait] [--watch]\n  \
+         [--fidelity cycle|analytic|auto] [--tenant NAME] [--wait] [--watch]\n  \
          status ID\n  \
          result ID\n  \
          watch ID\n  \
@@ -74,6 +74,9 @@ fn main() {
             let mut spec = JobSpec::new(&args.remove(0), "small");
             let mut wait = false;
             let mut watch = false;
+            // Only meaningful against a gateway with per-tenant
+            // admission on; a plain worker daemon ignores it.
+            let mut tenant = String::new();
             let mut it = args.into_iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -93,12 +96,13 @@ fn main() {
                     "--sanitize" => spec.sanitize = true,
                     "--faults" => spec.faults = it.next().unwrap_or_else(|| usage()),
                     "--fidelity" => spec.fidelity = it.next().unwrap_or_else(|| usage()),
+                    "--tenant" => tenant = it.next().unwrap_or_else(|| usage()),
                     "--wait" => wait = true,
                     "--watch" => watch = true,
                     _ => usage(),
                 }
             }
-            let reply = client.submit(&spec).unwrap_or_else(|e| fail(e));
+            let reply = client.submit_as(&spec, &tenant).unwrap_or_else(|e| fail(e));
             match reply {
                 SubmitReply::Accepted { id, state, cached } => {
                     eprintln!(
@@ -179,6 +183,51 @@ fn main() {
                     count("fast_jobs"),
                     count("escalations")
                 );
+                // Keys this client predates get a sorted "other"
+                // section instead of being silently dropped — a newer
+                // daemon's counters (a worker's `steals`, a gateway's
+                // `forwards`/`remote_cache_hits`, ...) stay visible
+                // without a client upgrade.
+                let known = [
+                    "type",
+                    "accepted",
+                    "rejected",
+                    "completed",
+                    "failed",
+                    "timed_out",
+                    "cancelled",
+                    "retries",
+                    "worker_deaths",
+                    "replayed_jobs",
+                    "fast_jobs",
+                    "escalations",
+                    "cache_hits",
+                    "cache_misses",
+                    "queue_depth",
+                    "busy_workers",
+                    "latency_ms",
+                    "latency_by_fidelity",
+                    "profiled_jobs",
+                    "profile",
+                ];
+                let mut other: Vec<String> = obj
+                    .keys()
+                    .filter(|k| !known.contains(k))
+                    .map(|k| {
+                        let val = obj
+                            .opt(k)
+                            .map(|v| v.write())
+                            .unwrap_or_else(|| "null".to_string());
+                        format!("  {k}: {val}")
+                    })
+                    .collect();
+                if !other.is_empty() {
+                    other.sort();
+                    eprintln!("other counters:");
+                    for line in other {
+                        eprintln!("{line}");
+                    }
+                }
             }
             println!("{}", v.write());
         }

@@ -23,6 +23,7 @@ const SPEEDUP_TARGET: f64 = 1.5;
 fn main() {
     let opts = Options::parse(Scale::Tiny, 16, 8);
     opts.cycle_only("perf_smoke");
+    opts.no_workload_filter("perf_smoke");
     // `--host-threads` names the parallel setting under test; the
     // sequential baseline is always 1.
     let par_threads = if opts.host_threads > 1 {

@@ -36,6 +36,7 @@ fn inbound_share_pct(p: &MachineProfile, core: usize) -> f64 {
 fn main() {
     let opts = Options::parse(Scale::Tiny, 4, 2);
     opts.cycle_only("profile");
+    opts.no_workload_filter("profile");
     let n = match opts.scale {
         Scale::Tiny => 1024,
         Scale::Small => 8192,

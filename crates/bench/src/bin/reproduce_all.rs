@@ -19,6 +19,13 @@
 //! returned cells. Resubmitting the same sweep is answered from the
 //! daemon's content-addressed cache — the closing metrics snapshot
 //! shows the hit count.
+//!
+//! `--via-fleet ADDR` is the same wire conversation pointed at a
+//! fleet gateway (see the `gateway` binary) instead of a single
+//! daemon: the gateway shards singleton jobs across its workers by
+//! digest, fans the sweep experiments out into per-workload subjobs,
+//! and merges the parts in canonical order — so `--check-golden`
+//! passes against the same committed goldens as a single-node run.
 
 use mosaic_bench::golden::{self, GoldenFile};
 use mosaic_bench::service::EXPERIMENTS;
@@ -27,15 +34,20 @@ use std::process::Command;
 
 fn main() {
     let mut passthrough: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(i) = passthrough.iter().position(|a| a == "--via-server") {
-        passthrough.remove(i);
-        if i >= passthrough.len() {
-            eprintln!("--via-server needs an ADDR (host:port of a running serve daemon)");
-            std::process::exit(2);
+    // `--via-fleet` is the same client conversation as `--via-server`
+    // (a gateway speaks the daemon protocol); the split exists so
+    // scripts and logs say which topology they exercised.
+    for via in ["--via-server", "--via-fleet"] {
+        if let Some(i) = passthrough.iter().position(|a| a == via) {
+            passthrough.remove(i);
+            if i >= passthrough.len() {
+                eprintln!("{via} needs an ADDR (host:port of a running daemon or gateway)");
+                std::process::exit(2);
+            }
+            let addr = passthrough.remove(i);
+            via_server(&addr, &passthrough);
+            return;
         }
-        let addr = passthrough.remove(i);
-        via_server(&addr, &passthrough);
-        return;
     }
     run_local(&passthrough);
 }

@@ -88,6 +88,14 @@ fn main() {
                 chaos_host = HostFaultPlan::parse(&spec)
                     .unwrap_or_else(|e| panic!("bad --chaos-host spec {spec:?}: {e}"));
             }
+            "--peers" => {
+                cfg.peers = value("--peers")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             "--calibration" => calibration = Some(PathBuf::from(value("--calibration"))),
             "--escalate-bound-ppm" => {
                 escalate_bound_ppm = Some(
@@ -111,9 +119,12 @@ fn main() {
                      --journal-dir PATH     crash-safety job journal (default results/journal)\n         \
                      --no-journal           disable the journal (a kill loses queued/running jobs)\n         \
                      --retries N            attempts per job incl. the first (default 1 = no retry)\n         \
-                     --chaos-host SPEC      inject host faults, e.g. panics=2,slow=100,kill=500\n                                \
+                     --chaos-host SPEC      inject host faults, e.g. panics=2,slow=100,kill=500,node_kill=2000\n                                \
                      (testing the isolation/retry/crash-recovery machinery;\n                                \
+                     node_kill aborts the whole daemon N ms after boot;\n                                \
                      see mosaic-chaos)\n         \
+                     --peers A:P,B:P        fleet peer daemons: steal queued jobs from them when\n                                \
+                     idle and answer submissions from their caches\n         \
                      --calibration PATH     calibration table backing auto-fidelity submissions\n                                \
                      (default results/model/calibration.json when present;\n                                \
                      without a table, auto submissions are rejected)\n         \
@@ -185,6 +196,9 @@ fn main() {
         Arc::new(executor)
     } else {
         eprintln!("serve: CHAOS host faults active ({})", chaos_host.to_spec());
+        // The whole-node kill is anchored at boot, not at the first
+        // job, so it belongs to the daemon, not the executor wrapper.
+        chaos_host.arm_node_kill();
         Arc::new(
             FaultyExecutor::new(
                 Arc::new(executor),
@@ -194,6 +208,9 @@ fn main() {
             .kill_after(Duration::from_millis(chaos_host.kill_after_ms)),
         )
     };
+    if !cfg.peers.is_empty() {
+        eprintln!("serve: fleet peers: {}", cfg.peers.join(", "));
+    }
     let server = Server::start(cfg, executor).expect("bind serve daemon");
     // Stdout carries exactly the bound address so scripts can scrape
     // the ephemeral port; everything else goes to stderr.

@@ -6,6 +6,7 @@ use mosaic_workloads::{fib::Fib, pagerank, uts, Benchmark, Scale};
 fn main() {
     let opts = Options::parse(Scale::Small, 8, 4); // 32 cores
     opts.cycle_only("shape_check");
+    opts.no_workload_filter("shape_check");
     let mcfg = opts.machine();
     let scale = opts.scale;
     println!("=== Fib(12), 4 WS variants (paper Fig 7 ordering) ===");

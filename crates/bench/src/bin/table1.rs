@@ -20,11 +20,12 @@ fn main() {
     );
     let cells =
         mosaic_workloads::table1_benchmarks(opts.scale).len() * RuntimeConfig::table1_sweep().len();
-    let rows = sweep::table1_sweep_backend(
+    let rows = sweep::table1_sweep_filtered(
         opts.scale,
         &opts.machine(),
         opts.backend().as_ref(),
         opts.effective_jobs(cells),
+        &opts.workload,
     );
 
     let configs: Vec<&str> = RuntimeConfig::table1_sweep()

@@ -17,6 +17,7 @@ use mosaic_workloads::{uts, Scale};
 fn main() {
     let opts = Options::parse(Scale::Tiny, 8, 4);
     opts.cycle_only("trace_run");
+    opts.no_workload_filter("trace_run");
     let bench = &uts::instances(opts.scale)[1]; // UTS-t3: the showcase
     let cfg = RuntimeConfig {
         trace: true,

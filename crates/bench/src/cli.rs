@@ -93,6 +93,13 @@ pub struct Options {
     /// or a sweep filtered down to the cell that wrote the image —
     /// other cells correctly fail the verification.
     pub resume_from: Option<std::path::PathBuf>,
+    /// Restrict a sweep to one workload by exact name (`--workload
+    /// NAME`); empty = run the full table. Only the sweep experiments
+    /// (`table1`, `fig09_speedup`) honor it — the fleet gateway uses it
+    /// to fan a sweep out into per-workload subjobs whose concatenation
+    /// is byte-identical to the unfiltered run. Single-workload
+    /// harnesses refuse the flag via [`Options::no_workload_filter`].
+    pub workload: String,
 }
 
 impl Options {
@@ -123,6 +130,7 @@ impl Options {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume_from: None,
+            workload: String::new(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -214,6 +222,9 @@ impl Options {
                             .into(),
                     );
                 }
+                "--workload" => {
+                    opts.workload = args.next().expect("--workload needs a NAME value");
+                }
                 "--faults" => {
                     let spec = args.next().expect("--faults needs a SPEC value");
                     let plan = FaultPlan::parse(&spec)
@@ -244,6 +255,8 @@ impl Options {
                          --checkpoint-dir PATH      checkpoint directory (default results/checkpoints)\n         \
                          --resume-from PATH         verify this run against a checkpoint image\n                                    \
                          (applies to every cell; hard-fails on divergence at its boundary)\n         \
+                         --workload NAME            restrict a sweep to one workload (table1/fig09_speedup\n                                    \
+                         only; the fleet gateway fans sweeps out with it)\n         \
                          --faults SPEC              inject deterministic faults (e.g. seed=7,horizon=100000,links=4x300;\n                                    \
                          timing-only plans shift cycles, flip=... corrupts data on purpose)"
                     );
@@ -281,6 +294,21 @@ impl Options {
             "{experiment} is cycle-accurate only: --fidelity {} is not supported \
              (the analytic model covers the sweep experiments table1/fig09_speedup)",
             self.fidelity
+        );
+    }
+
+    /// Refuse `--workload` for experiments that are not multi-workload
+    /// sweeps: a silently ignored filter would let a fleet gateway
+    /// believe it split a job it actually ran whole.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--workload` was given.
+    pub fn no_workload_filter(&self, experiment: &str) {
+        assert!(
+            self.workload.is_empty(),
+            "{experiment} does not support --workload (only the sweep \
+             experiments table1/fig09_speedup do)"
         );
     }
 

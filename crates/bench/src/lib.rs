@@ -35,6 +35,7 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod fleet;
 pub mod golden;
 pub mod prof;
 pub mod sanitize;
@@ -43,6 +44,7 @@ pub mod sweep;
 pub mod table;
 
 pub use cli::{GoldenMode, Options, CALIBRATION_PATH};
+pub use fleet::SweepFanout;
 pub use golden::{GoldenCell, GoldenCounter, GoldenFile};
 pub use sanitize::{SanCell, SanitizeGate};
 pub use service::{BinExecutor, EXPERIMENTS};

@@ -44,6 +44,12 @@ pub const EXPERIMENTS: &[&str] = &[
 /// grid covers. Everything else is cycle-accurate only.
 pub const ANALYTIC_EXPERIMENTS: &[&str] = &["table1", "fig09_speedup"];
 
+/// Experiments that sweep every Table-1 workload — the ones accepting
+/// a `--workload` filter, and therefore the ones the fleet gateway can
+/// fan out into per-workload subjobs. Coincides with
+/// [`ANALYTIC_EXPERIMENTS`] today but means something different.
+pub const SWEEP_EXPERIMENTS: &[&str] = &["table1", "fig09_speedup"];
+
 /// Executor that runs experiment harness binaries as child processes.
 pub struct BinExecutor {
     /// Directory holding the harness binaries (normally the daemon's
@@ -97,9 +103,17 @@ impl BinExecutor {
         if (spec.cols == 0) != (spec.rows == 0) {
             return Err("cols and rows must be set together (or both 0)".to_string());
         }
-        if !spec.workload.is_empty() || !spec.config.is_empty() || spec.seed != 0 {
+        if !spec.workload.is_empty() && !SWEEP_EXPERIMENTS.contains(&spec.experiment.as_str()) {
+            return Err(format!(
+                "experiment {:?} does not support a workload filter (only the sweep \
+                 experiments do: {})",
+                spec.experiment,
+                SWEEP_EXPERIMENTS.join(", ")
+            ));
+        }
+        if !spec.config.is_empty() || spec.seed != 0 {
             return Err(
-                "workload/config filters and non-zero seeds are not supported by the \
+                "config filters and non-zero seeds are not supported by the \
                  experiment harnesses yet"
                     .to_string(),
             );
@@ -157,6 +171,11 @@ impl Executor for BinExecutor {
         }
         if spec.sanitize {
             cmd.arg("--sanitize");
+        }
+        if !spec.workload.is_empty() {
+            // Fleet fan-out: this subjob runs one workload's row of the
+            // sweep. Omitted when empty so legacy argv is unchanged.
+            cmd.args(["--workload", &spec.workload]);
         }
         if !spec.faults.is_empty() {
             cmd.args(["--faults", &spec.faults]);
@@ -317,6 +336,17 @@ mod tests {
 
         let mut bad = ok.clone();
         bad.seed = 3;
+        assert!(BinExecutor::validate(&bad).is_err());
+
+        // Workload filters: fine on sweep experiments (the fleet
+        // gateway's fan-out path), refused everywhere else.
+        let mut filtered = ok.clone();
+        filtered.workload = "cilksort".into();
+        assert!(BinExecutor::validate(&filtered).is_ok());
+
+        let mut bad = ok.clone();
+        bad.experiment = "trace_run".into();
+        bad.workload = "cilksort".into();
         assert!(BinExecutor::validate(&bad).is_err());
 
         let mut faulted = ok.clone();

@@ -341,7 +341,39 @@ pub fn table1_sweep_backend(
     backend: &dyn Backend,
     jobs: usize,
 ) -> Vec<SweepRow> {
-    let benches = mosaic_workloads::table1_benchmarks(scale);
+    table1_sweep_filtered(scale, machine, backend, jobs, "")
+}
+
+/// Like [`table1_sweep_backend`] but restricted to one workload by
+/// exact name (`""` = the full table). This is the `--workload` seam
+/// the fleet gateway fans sweeps out through: each subjob runs one
+/// workload's row, and because [`GoldenFile::push_sweep`] lays cells
+/// out workload-major, concatenating the per-workload parts in table
+/// order reproduces the unfiltered sweep byte for byte.
+///
+/// [`GoldenFile::push_sweep`]: crate::golden::GoldenFile::push_sweep
+///
+/// # Panics
+///
+/// Panics when `workload` names no benchmark at this scale — a typo
+/// must not silently produce an empty (yet "passing") sweep.
+pub fn table1_sweep_filtered(
+    scale: Scale,
+    machine: &MachineConfig,
+    backend: &dyn Backend,
+    jobs: usize,
+    workload: &str,
+) -> Vec<SweepRow> {
+    let mut benches = mosaic_workloads::table1_benchmarks(scale);
+    if !workload.is_empty() {
+        let known: Vec<String> = benches.iter().map(|b| b.name()).collect();
+        benches.retain(|b| b.name() == workload);
+        assert!(
+            !benches.is_empty(),
+            "--workload {workload:?} names no Table-1 benchmark (have: {})",
+            known.join(", ")
+        );
+    }
     let scale_name = match scale {
         Scale::Tiny => "tiny",
         Scale::Small => "small",

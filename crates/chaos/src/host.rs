@@ -24,6 +24,13 @@ pub struct HostFaultPlan {
     /// no journal flush beyond what is already durable (0 = never).
     /// Exercises the journal-replay / checkpoint-resume recovery path.
     pub kill_after_ms: u64,
+    /// Milliseconds after *daemon boot* at which the whole process
+    /// aborts (0 = never). Unlike `kill_after_ms` this is anchored at
+    /// startup, not at the first execution, so it models a whole-node
+    /// failure independent of workload timing — the fleet recovery
+    /// harness uses it to take a worker down mid-sweep and assert the
+    /// gateway re-routes its journaled subjobs to survivors.
+    pub node_kill_ms: u64,
 }
 
 impl HostFaultPlan {
@@ -42,9 +49,10 @@ impl HostFaultPlan {
                 "panics" => plan.panic_attempts = n as u32,
                 "slow" => plan.slow_ms = n,
                 "kill" => plan.kill_after_ms = n,
+                "node_kill" => plan.node_kill_ms = n,
                 other => {
                     return Err(format!(
-                        "host fault: unknown key {other:?} (panics|slow|kill)"
+                        "host fault: unknown key {other:?} (panics|slow|kill|node_kill)"
                     ))
                 }
             }
@@ -56,14 +64,34 @@ impl HostFaultPlan {
     /// plan.
     pub fn to_spec(&self) -> String {
         format!(
-            "panics={},slow={},kill={}",
-            self.panic_attempts, self.slow_ms, self.kill_after_ms
+            "panics={},slow={},kill={},node_kill={}",
+            self.panic_attempts, self.slow_ms, self.kill_after_ms, self.node_kill_ms
         )
     }
 
     /// Whether the plan has any effect.
     pub fn is_empty(&self) -> bool {
-        self.panic_attempts == 0 && self.slow_ms == 0 && self.kill_after_ms == 0
+        self.panic_attempts == 0
+            && self.slow_ms == 0
+            && self.kill_after_ms == 0
+            && self.node_kill_ms == 0
+    }
+
+    /// Arm the whole-node kill: spawn a detached timer thread that
+    /// aborts the process `node_kill_ms` after this call (daemon boot).
+    /// No-op when the knob is 0. `abort` rather than `exit` so no
+    /// destructor, drain, or journal flush runs — the closest portable
+    /// stand-in for yanking the node's power.
+    pub fn arm_node_kill(&self) {
+        if self.node_kill_ms == 0 {
+            return;
+        }
+        let delay = std::time::Duration::from_millis(self.node_kill_ms);
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            eprintln!("chaos: node_kill timer expired; aborting the process");
+            std::process::abort();
+        });
     }
 }
 
@@ -73,16 +101,28 @@ mod tests {
 
     #[test]
     fn parses_and_round_trips() {
-        let plan = HostFaultPlan::parse("panics=2,slow=150,kill=900").unwrap();
+        let plan = HostFaultPlan::parse("panics=2,slow=150,kill=900,node_kill=4000").unwrap();
         assert_eq!(
             plan,
             HostFaultPlan {
                 panic_attempts: 2,
                 slow_ms: 150,
-                kill_after_ms: 900
+                kill_after_ms: 900,
+                node_kill_ms: 4000
             }
         );
         assert_eq!(HostFaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn node_kill_alone_is_a_nonempty_plan() {
+        let plan = HostFaultPlan::parse("node_kill=1500").unwrap();
+        assert_eq!(plan.node_kill_ms, 1500);
+        assert_eq!(plan.kill_after_ms, 0);
+        assert!(!plan.is_empty());
+        // Arming a zeroed plan is a no-op (must not spawn an abort
+        // timer in the test process).
+        HostFaultPlan::default().arm_node_kill();
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The worker-side fleet roles: stealing queued jobs from loaded
+//! peers, and answering jobs from peers' caches.
+//!
+//! **Stealing.** Every fleet worker runs one stealer thread. When the
+//! local daemon is idle (empty queue, a spare worker), it probes peers
+//! in a deterministic order — peers sorted by `fnv1a64("{peer}#{round}")`,
+//! so consecutive rounds spread probes across victims and every
+//! daemon's probe sequence is reproducible — and sends `steal`. A
+//! victim with queued work donates the *back* of its queue and keeps
+//! the job record marked running; the thief runs the spec through its
+//! own scheduler (gaining cache, coalescing, panic isolation, and
+//! retries for free) and `offer`s the outcome home **on the same
+//! connection**. The connection is the lease: if the thief dies
+//! mid-run, the victim sees EOF and requeues. No timers, no leases to
+//! expire, no acknowledgement protocol.
+//!
+//! A thief that cannot actually run the stolen job (its own admission
+//! rejected it) drops the connection instead of offering an error:
+//! "I couldn't help" must requeue the job, not fail it.
+//!
+//! **Peer cache.** [`PeerCache`] implements
+//! [`RemoteLookup`]: before executing
+//! a job, a worker asks each peer's cache (the cache-only `fetch`
+//! verb, probe order seeded by the job digest) whether the payload
+//! already exists somewhere in the fleet. Content addressing makes
+//! the answer trustworthy wherever it comes from.
+
+use crate::client::Client;
+use crate::job::fnv1a64;
+use crate::protocol::Request;
+use crate::scheduler::{RemoteLookup, Scheduler, Submit};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often an idle worker probes its peers for work.
+const STEAL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Cross-node cache lookup over the fleet's `fetch` verb.
+#[derive(Debug)]
+pub struct PeerCache {
+    peers: Vec<String>,
+}
+
+impl PeerCache {
+    /// A lookup probing `peers` (the other workers' addresses).
+    pub fn new(peers: Vec<String>) -> PeerCache {
+        PeerCache { peers }
+    }
+
+    /// Peers sorted by `fnv1a64("{id}@{peer}")`: a deterministic
+    /// per-digest order, so different digests spread first-probe load
+    /// across the fleet.
+    fn probe_order(&self, id: &str) -> Vec<&str> {
+        let mut order: Vec<&str> = self.peers.iter().map(String::as_str).collect();
+        order.sort_by_key(|peer| fnv1a64(format!("{id}@{peer}").as_bytes()));
+        order
+    }
+}
+
+impl RemoteLookup for PeerCache {
+    fn fetch(&self, id: &str) -> Option<String> {
+        for peer in self.probe_order(id) {
+            // An unreachable peer is skipped, not an error: the local
+            // executor is always a correct fallback.
+            let Ok(mut c) = Client::connect(peer) else {
+                continue;
+            };
+            if let Ok(Some(payload)) = c.fetch(id) {
+                return Some(payload);
+            }
+        }
+        None
+    }
+}
+
+/// Outcome of one steal probe against one peer.
+enum Probe {
+    /// Stole a job, ran it, offered the outcome home.
+    Stole,
+    /// The peer had nothing queued.
+    NoWork,
+    /// The peer was unreachable or the conversation broke down.
+    Unreachable,
+}
+
+/// Spawn the stealer thread: probe peers whenever the local scheduler
+/// is idle, stop when it starts draining.
+pub(crate) fn spawn_stealer(
+    sched: Arc<Scheduler>,
+    peers: Vec<String>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("serve-stealer".to_string())
+        .spawn(move || stealer_loop(&sched, &peers))
+        .expect("spawn stealer thread")
+}
+
+fn stealer_loop(sched: &Arc<Scheduler>, peers: &[String]) {
+    let mut round: u64 = 0;
+    loop {
+        if sched.is_draining() {
+            return;
+        }
+        std::thread::sleep(STEAL_INTERVAL);
+        let (depth, busy) = sched.load();
+        if depth > 0 || busy >= sched.worker_count() {
+            continue; // plenty of local work; don't import more
+        }
+        round = round.wrapping_add(1);
+        let mut order: Vec<&String> = peers.iter().collect();
+        order.sort_by_key(|peer| fnv1a64(format!("{peer}#{round}").as_bytes()));
+        for peer in order {
+            match steal_from(sched, peer) {
+                Probe::Stole => break,
+                Probe::NoWork | Probe::Unreachable => continue,
+            }
+        }
+    }
+}
+
+/// One probe: connect, `steal`, run the donated job locally, `offer`
+/// the outcome home on the same connection.
+fn steal_from(sched: &Arc<Scheduler>, peer: &str) -> Probe {
+    let Ok(mut victim) = Client::connect(peer) else {
+        return Probe::Unreachable;
+    };
+    if victim.send(&Request::Steal).is_err() {
+        return Probe::Unreachable;
+    }
+    let Ok(v) = victim.recv() else {
+        return Probe::Unreachable;
+    };
+    let Ok(obj) = v.as_object("steal response") else {
+        return Probe::Unreachable;
+    };
+    match obj
+        .get("type", "steal response")
+        .and_then(|t| t.as_string())
+    {
+        Ok(t) if t == "stolen" => {}
+        Ok(t) if t == "no_work" => return Probe::NoWork,
+        _ => return Probe::Unreachable,
+    }
+    let (Ok(id), Some(spec_json)) = (
+        obj.get("id", "stolen").and_then(|v| v.as_string()),
+        obj.opt("spec"),
+    ) else {
+        return Probe::Unreachable;
+    };
+    let Ok(spec) = crate::job::JobSpec::from_json(spec_json) else {
+        return Probe::Unreachable;
+    };
+    sched.metrics.steals.fetch_add(1, Ordering::Relaxed);
+    // Run through the local scheduler: the payload lands in *this*
+    // node's cache too, which is what makes stolen sweeps converge
+    // when the victim later dies and the subjob is re-routed here.
+    let record = match sched.submit(spec) {
+        Submit::Cached(r) | Submit::Enqueued(r) | Submit::InFlight(r) => r,
+        // Local admission refused — drop the connection so the victim
+        // requeues instead of recording a failure.
+        Submit::Overloaded { .. } | Submit::Draining | Submit::Unsupported(_) => {
+            return Probe::Unreachable;
+        }
+    };
+    let view = record.wait_terminal();
+    let payload = match view.state {
+        crate::job::JobState::Done => Ok(view.payload.unwrap_or_default()),
+        other => Err(view
+            .error
+            .unwrap_or_else(|| format!("stolen job ended {} on the thief", other.as_str()))),
+    };
+    if victim.send(&Request::Offer { id, payload }).is_err() {
+        return Probe::Unreachable;
+    }
+    let _ = victim.recv(); // ack (`offered`); content is informational
+    Probe::Stole
+}

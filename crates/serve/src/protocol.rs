@@ -15,7 +15,16 @@ use jsonlite::Json;
 pub enum Request {
     /// Submit a job spec; response: `accepted` / `overloaded` /
     /// `draining`.
-    Submit(JobSpec),
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+        /// Tenant label for the gateway's token-bucket admission;
+        /// empty = the shared anonymous bucket. Workers ignore it (it
+        /// is admission metadata, not part of the job), and it is
+        /// omitted from the wire form when empty so pre-fleet daemons
+        /// parse new clients' submissions unchanged.
+        tenant: String,
+    },
     /// Query one job's state and progress counters.
     Status {
         /// Job id (spec digest).
@@ -43,6 +52,28 @@ pub enum Request {
     Metrics,
     /// Drain and stop the server (in-flight jobs complete).
     Shutdown,
+    /// Fleet: ask this daemon to donate one queued job. Response:
+    /// `stolen` (id + spec) or `no_work`. The connection then *is* the
+    /// lease — the victim keeps the job marked running and expects an
+    /// `offer` for it on the same connection; EOF before the offer
+    /// requeues the job locally.
+    Steal,
+    /// Fleet: deliver the outcome of a previously stolen job back to
+    /// its victim on the steal connection. Response: `offered`.
+    Offer {
+        /// Job id (spec digest) named by the `stolen` response.
+        id: String,
+        /// The thief's outcome: payload on success, error otherwise.
+        payload: Result<String, String>,
+    },
+    /// Fleet: cache-only lookup — answer from the result cache without
+    /// executing anything. Response: `cache` with `hit` true/false.
+    /// Peers use it to resolve cross-node cache hits before paying for
+    /// a re-execution.
+    Fetch {
+        /// Job id (spec digest).
+        id: String,
+    },
 }
 
 impl Request {
@@ -53,7 +84,13 @@ impl Request {
         let ty = obj.get("type", "request")?.as_string()?;
         let id = |field: &str| -> Result<String, String> { obj.get(field, "request")?.as_string() };
         Ok(match ty.as_str() {
-            "submit" => Request::Submit(JobSpec::from_json(obj.get("spec", "submit")?)?),
+            "submit" => Request::Submit {
+                spec: JobSpec::from_json(obj.get("spec", "submit")?)?,
+                tenant: match obj.opt("tenant") {
+                    Some(t) => t.as_string()?,
+                    None => String::new(),
+                },
+            },
             "status" => Request::Status { id: id("id")? },
             "result" => Request::Result {
                 id: id("id")?,
@@ -66,6 +103,16 @@ impl Request {
             "cancel" => Request::Cancel { id: id("id")? },
             "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
+            "steal" => Request::Steal,
+            "offer" => Request::Offer {
+                id: id("id")?,
+                payload: if obj.get("ok", "offer")?.as_bool()? {
+                    Ok(obj.get("payload", "offer")?.as_string()?)
+                } else {
+                    Err(obj.get("error", "offer")?.as_string()?)
+                },
+            },
+            "fetch" => Request::Fetch { id: id("id")? },
             other => return Err(format!("unknown request type {other:?}")),
         })
     }
@@ -73,10 +120,15 @@ impl Request {
     /// Encode for the wire (client side).
     pub fn to_json(&self) -> Json {
         match self {
-            Request::Submit(spec) => Json::obj()
-                .field("type", "submit")
-                .field("spec", spec.to_json())
-                .build(),
+            Request::Submit { spec, tenant } => {
+                let mut b = Json::obj()
+                    .field("type", "submit")
+                    .field("spec", spec.to_json());
+                if !tenant.is_empty() {
+                    b = b.field("tenant", tenant.as_str());
+                }
+                b.build()
+            }
             Request::Status { id } => Json::obj()
                 .field("type", "status")
                 .field("id", id.as_str())
@@ -96,6 +148,22 @@ impl Request {
                 .build(),
             Request::Metrics => Json::obj().field("type", "metrics").build(),
             Request::Shutdown => Json::obj().field("type", "shutdown").build(),
+            Request::Steal => Json::obj().field("type", "steal").build(),
+            Request::Offer { id, payload } => {
+                let mut b = Json::obj()
+                    .field("type", "offer")
+                    .field("id", id.as_str())
+                    .field("ok", payload.is_ok());
+                match payload {
+                    Ok(p) => b = b.field("payload", p.as_str()),
+                    Err(e) => b = b.field("error", e.as_str()),
+                }
+                b.build()
+            }
+            Request::Fetch { id } => Json::obj()
+                .field("type", "fetch")
+                .field("id", id.as_str())
+                .build(),
         }
     }
 }
@@ -187,6 +255,42 @@ pub fn resp_shutdown() -> Json {
         .build()
 }
 
+/// `stolen`: this daemon donates one queued job to the caller.
+pub fn resp_stolen(id: &str, spec: &JobSpec) -> Json {
+    Json::obj()
+        .field("type", "stolen")
+        .field("id", id)
+        .field("spec", spec.to_json())
+        .build()
+}
+
+/// `no_work`: a steal probe found nothing queued to donate.
+pub fn resp_no_work() -> Json {
+    Json::obj().field("type", "no_work").build()
+}
+
+/// `offered`: a stolen job's outcome was delivered home; `state` is
+/// the job's terminal state as recorded by the victim.
+pub fn resp_offered(id: &str, state: JobState) -> Json {
+    Json::obj()
+        .field("type", "offered")
+        .field("id", id)
+        .field("state", state.as_str())
+        .build()
+}
+
+/// `cache`: a cache-only `fetch` answer (payload present iff `hit`).
+pub fn resp_fetch(id: &str, payload: Option<&str>) -> Json {
+    let mut b = Json::obj()
+        .field("type", "cache")
+        .field("id", id)
+        .field("hit", payload.is_some());
+    if let Some(p) = payload {
+        b = b.field("payload", p);
+    }
+    b.build()
+}
+
 /// `error`: the request could not be served (unknown id, parse
 /// failure, ...).
 pub fn resp_error(message: &str) -> Json {
@@ -203,7 +307,14 @@ mod tests {
     #[test]
     fn requests_round_trip_through_the_wire_form() {
         let reqs = [
-            Request::Submit(JobSpec::new("table1", "tiny")),
+            Request::Submit {
+                spec: JobSpec::new("table1", "tiny"),
+                tenant: String::new(),
+            },
+            Request::Submit {
+                spec: JobSpec::new("table1", "tiny"),
+                tenant: "acme".into(),
+            },
             Request::Status { id: "ab12".into() },
             Request::Result {
                 id: "ab12".into(),
@@ -213,6 +324,16 @@ mod tests {
             Request::Cancel { id: "ab12".into() },
             Request::Metrics,
             Request::Shutdown,
+            Request::Steal,
+            Request::Offer {
+                id: "ab12".into(),
+                payload: Ok("{\"cells\":[]}".into()),
+            },
+            Request::Offer {
+                id: "ab12".into(),
+                payload: Err("thief choked".into()),
+            },
+            Request::Fetch { id: "ab12".into() },
         ];
         for r in reqs {
             let line = r.to_json().write();
@@ -237,5 +358,23 @@ mod tests {
     fn unknown_request_types_are_rejected() {
         assert!(Request::parse("{\"type\":\"frobnicate\"}").is_err());
         assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn submit_without_tenant_is_the_anonymous_tenant() {
+        // The pre-fleet wire form (no tenant key) must keep parsing.
+        let spec = JobSpec::new("table1", "tiny");
+        let line = Json::obj()
+            .field("type", "submit")
+            .field("spec", spec.to_json())
+            .build()
+            .write();
+        assert_eq!(
+            Request::parse(&line).unwrap(),
+            Request::Submit {
+                spec,
+                tenant: String::new()
+            }
+        );
     }
 }

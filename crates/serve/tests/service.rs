@@ -60,6 +60,7 @@ fn start(queue_cap: usize, workers: usize, timeout_ms: u64) -> Server {
         },
         cache_dir: None,
         journal_dir: None,
+        peers: Vec::new(),
     };
     Server::start(cfg, Arc::new(TestExec)).expect("start server")
 }
@@ -308,6 +309,7 @@ fn injected_host_panics_recover_through_the_retry_policy() {
         },
         cache_dir: None,
         journal_dir: None,
+        peers: Vec::new(),
     };
     let faulty = FaultyExecutor::new(Arc::new(TestExec), 2, Duration::from_millis(10));
     let server = Server::start(cfg, Arc::new(faulty)).expect("start server");
@@ -426,6 +428,7 @@ fn auto_fidelity_answers_calibrated_jobs_fast_and_escalates_the_rest() {
         },
         cache_dir: None,
         journal_dir: None,
+        peers: Vec::new(),
     };
     let server = Server::start(cfg, Arc::new(TestExec)).expect("start server");
     let mut client = connect(&server);
@@ -515,6 +518,7 @@ fn journal_replay_readmits_killed_jobs_and_marks_clean_drains() {
         },
         cache_dir: None,
         journal_dir: Some(dir.clone()),
+        peers: Vec::new(),
     };
     let server = Server::start(cfg.clone(), Arc::new(TestExec)).expect("start server");
     let mut client = connect(&server);
